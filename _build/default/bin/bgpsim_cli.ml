@@ -1,0 +1,451 @@
+(* bgpsim — command-line front end.
+
+   Subcommands:
+     run    simulate one scenario and print its metrics
+     sweep  sweep network size or MRAI and print a table
+     topo   generate a topology (edge list or graphviz)
+
+   Examples:
+     bgpsim run --topology clique:15 --event tdown --mrai 30
+     bgpsim run --topology internet:110 --event tlong --enhancement wrate --seeds 5
+     bgpsim sweep --topology clique --axis size --values 5,10,15,20
+     bgpsim topo --topology internet:48 --format dot *)
+
+open Cmdliner
+
+let parse_topology s =
+  match String.split_on_char ':' s with
+  | [ "clique"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Bgpsim.Experiment.Clique n)
+      | _ -> Error (`Msg "clique size must be a positive integer"))
+  | [ "b-clique"; n ] | [ "bclique"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> Ok (Bgpsim.Experiment.B_clique n)
+      | _ -> Error (`Msg "b-clique size must be an integer >= 2"))
+  | [ "internet"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 3 -> Ok (Bgpsim.Experiment.Internet n)
+      | _ -> Error (`Msg "internet size must be an integer >= 3"))
+  | [ "waxman"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> Ok (Bgpsim.Experiment.Waxman n)
+      | _ -> Error (`Msg "waxman size must be an integer >= 2"))
+  | [ "glp"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> Ok (Bgpsim.Experiment.Glp n)
+      | _ -> Error (`Msg "glp size must be an integer >= 2"))
+  | [ "file"; path ] -> (
+      try
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        let graph = Topo.Topo_io.of_edge_list text in
+        Ok
+          (Bgpsim.Experiment.Custom
+             { graph; origin = 0; name = Filename.basename path })
+      with
+      | Sys_error msg -> Error (`Msg msg)
+      | Invalid_argument msg -> Error (`Msg msg))
+  | _ ->
+      Error
+        (`Msg
+          "expected clique:N, b-clique:N, internet:N, waxman:N, glp:N or file:PATH")
+
+let topology_conv =
+  let print fmt t =
+    Format.pp_print_string fmt (Bgpsim.Experiment.topology_name t)
+  in
+  Arg.conv (parse_topology, print)
+
+let enhancement_conv =
+  let parse s =
+    match Bgp.Enhancement.of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown enhancement %S (expected %s)" s
+               (String.concat ", " (List.map Bgp.Enhancement.name Bgp.Enhancement.all))))
+  in
+  Arg.conv (parse, Bgp.Enhancement.pp)
+
+let topology_arg =
+  Arg.(
+    required
+    & opt (some topology_conv) None
+    & info [ "t"; "topology" ] ~docv:"TOPOLOGY"
+        ~doc:
+          "Topology: clique:N, b-clique:N (2N nodes), internet:N, waxman:N, \
+           glp:N, or file:PATH (edge list with an 'n <nodes>' header; node 0 \
+           is the destination).")
+
+let event_name = function
+  | Bgpsim.Experiment.Tdown -> "tdown"
+  | Bgpsim.Experiment.Tlong | Bgpsim.Experiment.Tlong_link _ -> "tlong"
+  | Bgpsim.Experiment.Tup -> "tup"
+  | Bgpsim.Experiment.Trecover | Bgpsim.Experiment.Trecover_link _ ->
+      "trecover"
+
+let event_arg =
+  let event =
+    Arg.enum
+      [
+        ("tdown", Bgpsim.Experiment.Tdown);
+        ("tlong", Bgpsim.Experiment.Tlong);
+        ("tup", Bgpsim.Experiment.Tup);
+        ("trecover", Bgpsim.Experiment.Trecover);
+      ]
+  in
+  Arg.(
+    value & opt event Bgpsim.Experiment.Tdown
+    & info [ "e"; "event" ] ~docv:"EVENT"
+        ~doc:
+          "Event: tdown (destination withdrawn), tlong (one link fails), tup \
+           (destination appears) or trecover (failed link comes back).")
+
+let enhancement_arg =
+  Arg.(
+    value
+    & opt enhancement_conv Bgp.Enhancement.Standard
+    & info [ "enhancement" ] ~docv:"MECH"
+        ~doc:"Convergence mechanism: standard, ssld, wrate, assertion or ghost-flushing.")
+
+let mrai_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "mrai" ] ~docv:"SECONDS" ~doc:"MRAI timer value (paper default 30).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Number of seeds to average over (seed, seed+1, ...).")
+
+let spec_of topology event enhancement mrai seed =
+  {
+    (Bgpsim.Experiment.default_spec topology) with
+    event;
+    enhancement;
+    mrai;
+    seed;
+  }
+
+let seed_list ~seed ~seeds = List.init (Stdlib.max 1 seeds) (fun i -> seed + i)
+
+(* --- run --- *)
+
+let run_cmd =
+  let action topology event enhancement mrai seed seeds =
+    let spec = spec_of topology event enhancement mrai seed in
+    let m = Bgpsim.Sweep.over_seeds spec ~seeds:(seed_list ~seed ~seeds) in
+    Format.printf "%s  event=%s  enhancement=%a  mrai=%gs  seeds=%d@.@.%a@."
+      (Bgpsim.Experiment.topology_name topology)
+      (event_name event) Bgp.Enhancement.pp enhancement mrai seeds
+      Metrics.Run_metrics.pp m
+  in
+  let term =
+    Term.(
+      const action $ topology_arg $ event_arg $ enhancement_arg $ mrai_arg
+      $ seed_arg $ seeds_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one failure scenario and print its metrics")
+    term
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let axis_arg =
+    Arg.(
+      value
+      & opt (enum [ ("size", `Size); ("mrai", `Mrai) ]) `Size
+      & info [ "axis" ] ~docv:"AXIS" ~doc:"Sweep axis: size or mrai.")
+  in
+  let values_arg =
+    Arg.(
+      required
+      & opt (some (list float)) None
+      & info [ "values" ] ~docv:"V1,V2,..." ~doc:"Sweep values.")
+  in
+  let family_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("clique", `Clique); ("b-clique", `B_clique); ("internet", `Internet);
+             ])
+          `Clique
+      & info [ "t"; "topology" ] ~docv:"FAMILY"
+          ~doc:"Topology family for the sweep: clique, b-clique or internet.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "size" ] ~docv:"N" ~doc:"Fixed size when sweeping the MRAI.")
+  in
+  let action family axis values size event enhancement mrai seed seeds =
+    let topology n =
+      match family with
+      | `Clique -> Bgpsim.Experiment.Clique n
+      | `B_clique -> Bgpsim.Experiment.B_clique n
+      | `Internet -> Bgpsim.Experiment.Internet n
+    in
+    let make v =
+      match axis with
+      | `Size -> spec_of (topology (int_of_float v)) event enhancement mrai seed
+      | `Mrai -> spec_of (topology size) event enhancement v seed
+    in
+    let series =
+      Bgpsim.Sweep.series ~make ~seeds:(seed_list ~seed ~seeds) values
+    in
+    let rows =
+      List.map
+        (fun (v, (m : Metrics.Run_metrics.t)) ->
+          [
+            (match axis with
+            | `Size -> string_of_int (int_of_float v)
+            | `Mrai -> Printf.sprintf "%g" v);
+            Bgpsim.Report.float_cell m.convergence_time;
+            Bgpsim.Report.float_cell m.overall_looping_duration;
+            string_of_int m.ttl_exhaustions;
+            Bgpsim.Report.ratio_cell m.looping_ratio;
+            string_of_int m.updates_sent;
+          ])
+        series
+    in
+    print_string
+      (Bgpsim.Report.table
+         ~title:
+           (Printf.sprintf "%s sweep (%s axis, %a, mrai=%g, %d seed(s))"
+              (match family with
+              | `Clique -> "clique"
+              | `B_clique -> "b-clique"
+              | `Internet -> "internet")
+              (match axis with `Size -> "size" | `Mrai -> "mrai")
+              (fun () e -> Bgp.Enhancement.name e)
+              enhancement mrai seeds)
+         ~header:
+           [
+             (match axis with `Size -> "size" | `Mrai -> "mrai");
+             "conv(s)";
+             "loop-dur(s)";
+             "ttl-exh";
+             "ratio";
+             "updates";
+           ]
+         ~rows)
+  in
+  let term =
+    Term.(
+      const action $ family_arg $ axis_arg $ values_arg $ size_arg $ event_arg
+      $ enhancement_arg $ mrai_arg $ seed_arg $ seeds_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep network size or MRAI and print the resulting series")
+    term
+
+(* --- topo --- *)
+
+let topo_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("edges", `Edges); ("dot", `Dot) ]) `Edges
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: edges or dot.")
+  in
+  let action topology format seed =
+    let graph =
+      match (topology : Bgpsim.Experiment.topology) with
+      | Clique n -> Topo.Generators.clique n
+      | B_clique n -> Topo.Generators.b_clique n
+      | Internet n -> Topo.Internet.generate ~seed n
+      | Waxman n -> Topo.Random_graphs.waxman ~seed n
+      | Glp n -> Topo.Random_graphs.glp ~m:2 ~seed n
+      | Custom { graph; _ } -> graph
+    in
+    match format with
+    | `Edges -> print_string (Topo.Topo_io.to_edge_list graph)
+    | `Dot -> print_string (Topo.Topo_io.to_dot graph)
+  in
+  let term = Term.(const action $ topology_arg $ format_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate a topology and print it")
+    term
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output-dir" ] ~docv:"DIR"
+          ~doc:"Directory the CSV files are written into (created if absent).")
+  in
+  let action topology event enhancement mrai seed dir =
+    let spec = spec_of topology event enhancement mrai seed in
+    let run = Bgpsim.Experiment.run spec in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write name text =
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    let fib = Netcore.Trace.fib run.outcome.trace in
+    let from = run.outcome.t_fail in
+    write "fib_changes.csv" (Metrics.Export.fib_changes_csv fib ~from);
+    write "messages.csv" (Metrics.Export.sends_csv run.outcome.trace ~from);
+    write "loops.csv"
+      (Metrics.Export.loops_csv run.loops
+         ~until:(run.outcome.convergence_end +. spec.replay_tail));
+    Format.printf "%a@." Metrics.Run_metrics.pp run.metrics
+  in
+  let term =
+    Term.(
+      const action $ topology_arg $ event_arg $ enhancement_arg $ mrai_arg
+      $ seed_arg $ dir_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one scenario and export its FIB/message/loop traces as CSV")
+    term
+
+(* --- figures --- *)
+
+let figures_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output-dir" ] ~docv:"DIR"
+          ~doc:"Directory the per-figure CSV files are written into.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds averaged per data point.")
+  in
+  let action dir seeds =
+    let seeds = seed_list ~seed:1 ~seeds in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write name text =
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path
+    in
+    let series ~x_label ~make xs name =
+      let data = Bgpsim.Sweep.series ~make ~seeds xs in
+      write name (Metrics.Export.series_csv ~x_label data)
+    in
+    let sizes = List.map float_of_int in
+    (* Figures 4 & 6 share runs; so do 5 & 7 — the CSVs carry all the
+       metric columns, so one file serves both views of each figure. *)
+    series ~x_label:"size"
+      ~make:(fun n ->
+        Bgpsim.Experiment.default_spec (Bgpsim.Experiment.Clique (int_of_float n)))
+      (sizes [ 5; 10; 15; 20; 25; 30 ])
+      "fig4a_fig6a_clique_tdown_vs_size.csv";
+    series ~x_label:"n"
+      ~make:(fun n ->
+        {
+          (Bgpsim.Experiment.default_spec
+             (Bgpsim.Experiment.B_clique (int_of_float n)))
+          with
+          event = Bgpsim.Experiment.Tlong;
+        })
+      (sizes [ 5; 10; 15 ])
+      "fig4b_fig6b_bclique_tlong_vs_size.csv";
+    series ~x_label:"size"
+      ~make:(fun n ->
+        Bgpsim.Experiment.default_spec (Bgpsim.Experiment.Internet (int_of_float n)))
+      (sizes [ 29; 48; 75; 110 ])
+      "fig4c_fig6c_internet_tdown_vs_size.csv";
+    series ~x_label:"mrai"
+      ~make:(fun mrai ->
+        { (Bgpsim.Experiment.default_spec (Bgpsim.Experiment.Clique 15)) with mrai })
+      [ 10.; 20.; 30.; 40.; 50.; 60. ]
+      "fig5a_fig7a_clique15_tdown_vs_mrai.csv";
+    series ~x_label:"mrai"
+      ~make:(fun mrai ->
+        {
+          (Bgpsim.Experiment.default_spec (Bgpsim.Experiment.B_clique 10)) with
+          event = Bgpsim.Experiment.Tlong;
+          mrai;
+        })
+      [ 10.; 20.; 30.; 40.; 50.; 60. ]
+      "fig5b_fig7b_bclique10_tlong_vs_mrai.csv";
+    (* Figures 8 & 9: one CSV per enhancement and scenario family *)
+    List.iter
+      (fun enh ->
+        let tag = Bgp.Enhancement.name enh in
+        series ~x_label:"size"
+          ~make:(fun n ->
+            {
+              (Bgpsim.Experiment.default_spec
+                 (Bgpsim.Experiment.Clique (int_of_float n)))
+              with
+              enhancement = enh;
+            })
+          (sizes [ 5; 10; 15; 20; 25; 30 ])
+          (Printf.sprintf "fig8ab_clique_tdown_%s.csv" tag);
+        series ~x_label:"size"
+          ~make:(fun n ->
+            {
+              (Bgpsim.Experiment.default_spec
+                 (Bgpsim.Experiment.Internet (int_of_float n)))
+              with
+              enhancement = enh;
+            })
+          (sizes [ 29; 48; 75; 110 ])
+          (Printf.sprintf "fig8cd_internet_tdown_%s.csv" tag);
+        series ~x_label:"n"
+          ~make:(fun n ->
+            {
+              (Bgpsim.Experiment.default_spec
+                 (Bgpsim.Experiment.B_clique (int_of_float n)))
+              with
+              event = Bgpsim.Experiment.Tlong;
+              enhancement = enh;
+            })
+          (sizes [ 5; 10; 15 ])
+          (Printf.sprintf "fig9ab_bclique_tlong_%s.csv" tag);
+        series ~x_label:"size"
+          ~make:(fun n ->
+            {
+              (Bgpsim.Experiment.default_spec
+                 (Bgpsim.Experiment.Internet (int_of_float n)))
+              with
+              event = Bgpsim.Experiment.Tlong;
+              enhancement = enh;
+            })
+          (sizes [ 29; 48; 75; 110 ])
+          (Printf.sprintf "fig9cd_internet_tlong_%s.csv" tag))
+      Bgp.Enhancement.all
+  in
+  let term = Term.(const action $ dir_arg $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Regenerate every paper figure's data series as CSV files for \
+          offline plotting")
+    term
+
+let () =
+  let info =
+    Cmd.info "bgpsim" ~version:"1.0.0"
+      ~doc:"BGP path-vector transient-loop simulator (ICDCS 2004 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; sweep_cmd; topo_cmd; trace_cmd; figures_cmd ]))

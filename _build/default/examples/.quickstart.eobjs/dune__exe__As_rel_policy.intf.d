@@ -1,0 +1,1 @@
+examples/as_rel_policy.mli:

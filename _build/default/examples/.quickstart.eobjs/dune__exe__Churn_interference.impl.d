@@ -1,0 +1,1 @@
+examples/churn_interference.ml: Bgp Format List Loopscan Topo

@@ -1,0 +1,1 @@
+examples/enhancement_showdown.ml: Bgp Bgpsim List

@@ -1,0 +1,1 @@
+examples/figure1_walkthrough.ml: Bgpsim Format List Loopscan Netcore Printf Topo

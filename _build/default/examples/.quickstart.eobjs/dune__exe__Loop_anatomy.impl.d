@@ -1,0 +1,1 @@
+examples/loop_anatomy.ml: Bgpsim Format List Loopscan Stats

@@ -1,0 +1,1 @@
+examples/mrai_tuning.ml: Bgpsim Format Fun List Metrics Printf Stats

@@ -1,0 +1,1 @@
+examples/mrai_tuning.mli:

@@ -1,0 +1,1 @@
+examples/policy_safety.ml: Bgp Format Topo

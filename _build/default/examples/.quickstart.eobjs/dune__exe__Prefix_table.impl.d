@@ -1,0 +1,1 @@
+examples/prefix_table.ml: Bgp Format List Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgpsim Format Metrics Netcore

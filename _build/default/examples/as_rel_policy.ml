@@ -1,0 +1,62 @@
+(* Driving the simulator from a CAIDA-style AS relationship snapshot:
+   parse the serial-1 format, route with the Gao-Rexford policy those
+   relationships induce, and watch a T_down at a customer AS.
+
+     dune exec examples/as_rel_policy.exe *)
+
+(* A miniature provider hierarchy: two tier-1s peering at the top, two
+   regional providers, and three customer edges.  (Real snapshots from
+   CAIDA drop straight into the same parser.) *)
+let snapshot =
+  "# as-rel serial-1\n\
+   10|20|0\n\
+   10|100|-1\n\
+   10|200|-1\n\
+   20|200|-1\n\
+   20|300|-1\n\
+   100|1001|-1\n\
+   200|1001|-1\n\
+   200|1002|-1\n\
+   300|1002|-1\n"
+
+let () =
+  let rel_data = Topo.As_rel.parse snapshot in
+  let graph = Topo.As_rel.graph rel_data in
+  let rel a b =
+    match Topo.As_rel.relationship rel_data a b with
+    | `Customer -> Bgp.Policy.Customer
+    | `Peer -> Bgp.Policy.Peer_rel
+    | `Provider -> Bgp.Policy.Provider
+  in
+  let origin = Option.get (Topo.As_rel.node_of_asn rel_data 1001) in
+  Format.printf
+    "Parsed %d ASes, %d relationships; destination AS 1001 (dual-homed@.\
+     customer of AS 100 and AS 200).@.@."
+    (Topo.Graph.n_nodes graph) (Topo.Graph.n_edges graph);
+  let config =
+    { Bgp.Config.default with policy = Bgp.Policy.gao_rexford ~rel; mrai = 5. }
+  in
+  let o =
+    Bgp.Routing_sim.run ~config ~graph ~origin ~event:Bgp.Routing_sim.Tdown
+      ~seed:1 ()
+  in
+  let fib = Netcore.Trace.fib o.trace in
+  Format.printf "Valley-free routes to AS 1001 before the failure:@.";
+  List.iter
+    (fun v ->
+      if v <> origin then
+        let hop = Netcore.Fib_history.lookup fib ~node:v ~time:(o.t_fail -. 1.) in
+        Format.printf "  AS %-5d -> %s@."
+          (Topo.As_rel.asn_of_node rel_data v)
+          (match hop with
+          | Some h -> Printf.sprintf "AS %d" (Topo.As_rel.asn_of_node rel_data h)
+          | None -> "(no route)"))
+    (Topo.Graph.nodes graph);
+  Format.printf
+    "@.AS 1001 withdraws: convergence takes %.1f s, %d updates + %d withdrawals.@."
+    (Bgp.Routing_sim.convergence_time o)
+    o.updates_after_fail o.withdrawals_after_fail;
+  Format.printf
+    "@.Note AS 300: a peer-learned route (via 20) is never exported to the@.\
+     other tier-1, so its only path to 1001 runs through its provider —@.\
+     the valley-free constraint shaping reachability, not just preference.@."

@@ -1,0 +1,50 @@
+(* Extension beyond the paper: run the same T_down measurement under a
+   realistic customer/provider/peer (Gao-Rexford) routing policy with
+   valley-free export, and compare against the paper's shortest-path
+   policy on the same topology.
+
+     dune exec examples/policy_gao_rexford.exe *)
+
+let run_with ~policy_name ~policy ~graph ~origin ~seed =
+  let config = { Bgp.Config.default with policy } in
+  let outcome =
+    Bgp.Routing_sim.run ~config ~graph ~origin ~event:Bgp.Routing_sim.Tdown
+      ~seed ()
+  in
+  let fib = Netcore.Trace.fib outcome.trace in
+  let window_end = outcome.convergence_end +. 2. in
+  let replay =
+    Traffic.Replay.run ~fib ~origin ~n:(Topo.Graph.n_nodes graph)
+      ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window:(outcome.t_fail, window_end)
+      ~seed:(seed + 77) ~ratio_cutoff:outcome.convergence_end ()
+  in
+  let loops = Loopscan.Scanner.scan ~fib ~origin ~from:outcome.t_fail in
+  Format.printf
+    "%-14s conv=%6.1fs  ttl-exh=%6d  ratio=%.3f  loops=%d  msgs=%d@."
+    policy_name
+    (Bgp.Routing_sim.convergence_time outcome)
+    replay.exhausted
+    (Traffic.Replay.looping_ratio replay)
+    (List.length loops.loops)
+    (outcome.updates_after_fail + outcome.withdrawals_after_fail)
+
+let () =
+  let n = 75 in
+  let graph = Topo.Internet.generate ~seed:1 n in
+  let origin = List.hd (Topo.Internet.stub_nodes graph) in
+  Format.printf
+    "T_down at stub AS %d of a %d-node Internet-derived topology,@.\
+     shortest-path policy (the paper's) vs Gao-Rexford policy@.\
+     (provider/customer roles assigned by degree, valley-free export):@.@."
+    origin n;
+  run_with ~policy_name:"shortest-path" ~policy:Bgp.Policy.shortest_path ~graph
+    ~origin ~seed:1;
+  let rel = Bgp.Policy.relationships_by_degree graph in
+  run_with ~policy_name:"gao-rexford"
+    ~policy:(Bgp.Policy.gao_rexford ~rel)
+    ~graph ~origin ~seed:1;
+  Format.printf
+    "@.Valley-free export filters prune most of the alternate paths a node@.\
+     may explore after the failure, so policy routing converges with fewer@.\
+     messages — at the price of using non-shortest paths in steady state.@."

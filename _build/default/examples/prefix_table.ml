@@ -1,0 +1,43 @@
+(* Library tour of the concrete prefix types: CIDR prefixes and the
+   longest-prefix-match table a router derives from its Loc-RIB —
+   including what a more-specific announcement (the classic hijack
+   shape) does to forwarding, and the fallback on withdrawal.
+
+     dune exec examples/prefix_table.exe *)
+
+let cidr s = Option.get (Bgp.Ipv4.cidr_of_string s)
+
+let addr s = Option.get (Bgp.Ipv4.addr_of_string s)
+
+let show table label addrs =
+  Format.printf "%s@." label;
+  List.iter
+    (fun a ->
+      match Bgp.Lpm_trie.lookup table (addr a) with
+      | Some (p, next_hop) ->
+          Format.printf "  %-14s -> AS %d  (via %s)@." a next_hop
+            (Bgp.Ipv4.cidr_to_string p)
+      | None -> Format.printf "  %-14s -> unroutable@." a)
+    addrs;
+  Format.printf "@."
+
+let () =
+  let probes = [ "203.0.113.7"; "203.0.113.201"; "198.51.100.1" ] in
+  (* the legitimate origin announces its /24 *)
+  let table = Bgp.Lpm_trie.add Bgp.Lpm_trie.empty (cidr "203.0.113.0/24") 64500 in
+  let table = Bgp.Lpm_trie.add table (cidr "0.0.0.0/0") 64999 in
+  show table "Steady state: the /24 via AS 64500, default via AS 64999"
+    probes;
+  (* a more-specific /25 appears from elsewhere: longest match diverts
+     half the address space instantly, no matter how good the /24 is *)
+  let hijacked = Bgp.Lpm_trie.add table (cidr "203.0.113.0/25") 64666 in
+  show hijacked "A more-specific /25 appears from AS 64666 (hijack shape)"
+    probes;
+  (* the /25 is withdrawn: forwarding falls back to the covering /24 *)
+  let recovered = Bgp.Lpm_trie.remove hijacked (cidr "203.0.113.0/25") in
+  show recovered "After the /25 is withdrawn" probes;
+  Format.printf
+    "The decision process of this library (Bgp.Speaker) ranks paths per@.\
+     prefix; Bgp.Lpm_trie is the data-plane complement that picks *which*@.\
+     prefix governs each packet.  More-specific routes always win, which@.\
+     is why prefix hijacks work regardless of AS-path quality.@."

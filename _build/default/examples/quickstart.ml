@@ -1,0 +1,30 @@
+(* Quickstart: simulate the paper's headline scenario — a T_down event
+   on a 15-node clique with standard BGP — and print the measurement
+   suite.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let spec = Bgpsim.Experiment.default_spec (Bgpsim.Experiment.Clique 15) in
+  print_endline "Simulating T_down on a 15-node clique (standard BGP, MRAI 30s)...";
+  let run = Bgpsim.Experiment.run spec in
+  Format.printf "@.%a@.@." Metrics.Run_metrics.pp run.metrics;
+  (* the run at a glance: FIB churn arrives in MRAI-paced rounds, and
+     loops (with the packet drops they cause) live between the rounds *)
+  Format.printf "%s@.@."
+    (Metrics.Timeline.render_run
+       ~fib:(Netcore.Trace.fib run.outcome.trace)
+       ~loops:run.loops ~exhaustion_times:run.replay.exhaustion_times
+       ~from:run.outcome.t_fail
+       ~until:(run.outcome.convergence_end +. spec.replay_tail)
+       ());
+  (* The paper's Observation 1: looping lasts almost the whole
+     convergence period. *)
+  Format.printf
+    "Looping occupied %.0f%% of the convergence period; %.0f%% of packets sent@.\
+     during convergence hit a forwarding loop (the paper reports >65%% for@.\
+     cliques of size 15 and up).@."
+    (100.
+    *. run.metrics.overall_looping_duration
+    /. run.metrics.convergence_time)
+    (100. *. run.metrics.looping_ratio)

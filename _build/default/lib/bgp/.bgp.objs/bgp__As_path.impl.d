@@ -1,0 +1,1 @@
+lib/bgp/as_path.ml: Format Hashtbl List Printf Stdlib String

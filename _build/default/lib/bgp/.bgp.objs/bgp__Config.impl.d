@@ -1,0 +1,1 @@
+lib/bgp/config.ml: Damping Enhancement Mrai Option Policy

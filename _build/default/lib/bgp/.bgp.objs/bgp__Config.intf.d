@@ -1,0 +1,1 @@
+lib/bgp/config.mli: Damping Enhancement Mrai Policy

@@ -1,0 +1,1 @@
+lib/bgp/enhancement.ml: Format List String

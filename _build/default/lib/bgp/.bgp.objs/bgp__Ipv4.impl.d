@@ -1,0 +1,1 @@
+lib/bgp/ipv4.ml: Int32 Option Printf String

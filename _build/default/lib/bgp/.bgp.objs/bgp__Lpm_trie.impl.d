@@ -1,0 +1,1 @@
+lib/bgp/lpm_trie.ml: Int32 Ipv4 List

@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: As_path Format Netcore Prefix

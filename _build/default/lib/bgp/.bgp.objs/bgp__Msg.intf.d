@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: As_path Format Netcore Prefix

@@ -1,0 +1,1 @@
+lib/bgp/multi_sim.ml: Array Config Dessim Hashtbl List Msg Netcore Prefix Speaker Topo

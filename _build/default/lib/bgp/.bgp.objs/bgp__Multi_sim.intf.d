@@ -1,0 +1,1 @@
+lib/bgp/multi_sim.mli: Config Netcore Prefix Topo

@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Format Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/bgp/prefix.mli: Format

@@ -1,0 +1,1 @@
+lib/bgp/routing_sim.ml: Array Config Dessim Hashtbl List Msg Netcore Prefix Printf Speaker Topo

@@ -1,0 +1,1 @@
+lib/bgp/routing_sim.mli: Config Netcore Prefix Topo

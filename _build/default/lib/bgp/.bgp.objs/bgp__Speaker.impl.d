@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: As_path Config Damping Dessim Float Hashtbl List Mrai Msg Option Policy Prefix

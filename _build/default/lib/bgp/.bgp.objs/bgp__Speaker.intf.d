@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: As_path Config Dessim Msg Prefix

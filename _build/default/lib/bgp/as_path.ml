@@ -1,0 +1,47 @@
+type t = int list
+
+let empty = []
+
+let contains t v = List.mem v t
+
+let of_list l =
+  let seen = Hashtbl.create (List.length l) in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg (Printf.sprintf "As_path.of_list: repeated AS %d" v);
+      Hashtbl.add seen v ())
+    l;
+  l
+
+let to_list t = t
+
+let length = List.length
+
+let is_empty t = t = []
+
+let head = function [] -> None | v :: _ -> Some v
+
+let prepend v t =
+  if contains t v then
+    invalid_arg (Printf.sprintf "As_path.prepend: AS %d already in path" v);
+  v :: t
+
+let rec suffix_from t u =
+  match t with
+  | [] -> None
+  | v :: _ when v = u -> Some t
+  | _ :: rest -> suffix_from rest u
+
+let compare_lex = Stdlib.compare
+
+let compare a b =
+  let c = Stdlib.compare (length a) (length b) in
+  if c <> 0 then c else compare_lex a b
+
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)" (String.concat " " (List.map string_of_int t))
+
+let to_string t = Format.asprintf "%a" pp t

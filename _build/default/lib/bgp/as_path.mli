@@ -1,0 +1,51 @@
+(** AS paths.
+
+    A path is the ordered list of ASes a route announcement has
+    traversed, nearest first: the path [(5 6 4 0)] was announced by AS 5
+    and originates at AS 0.  The head of a received path is therefore
+    the advertising neighbor.  The empty path denotes a locally
+    originated route (the origin's route to its own prefix). *)
+
+type t
+
+val empty : t
+
+val of_list : int list -> t
+(** @raise Invalid_argument if the list repeats an AS (AS paths are
+    loop-free by construction: a repeated AS would have been discarded
+    by poison reverse at that AS). *)
+
+val to_list : t -> int list
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val contains : t -> int -> bool
+
+val head : t -> int option
+(** The advertising neighbor; [None] for the empty path. *)
+
+val prepend : int -> t -> t
+(** [prepend v p] is the path AS [v] announces when its best route has
+    path [p].  @raise Invalid_argument if [v] already appears in [p]. *)
+
+val suffix_from : t -> int -> t option
+(** [suffix_from p u] is the sub-path of [p] starting at [u] (inclusive),
+    or [None] when [u] does not appear in [p].  This is the sub-path the
+    Assertion enhancement compares against [u]'s latest announcement. *)
+
+val compare : t -> t -> int
+(** Total order: shorter first, then lexicographic on AS numbers.  Under
+    the paper's shortest-path policy with lowest-ID tie-breaking this is
+    exactly route preference (most preferred = smallest). *)
+
+val compare_lex : t -> t -> int
+(** Pure lexicographic order, ignoring length. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Paper style: [(5 6 4 0)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,88 @@
+type params = {
+  half_life : float;
+  suppress_threshold : float;
+  reuse_threshold : float;
+  withdrawal_penalty : float;
+  update_penalty : float;
+  max_penalty : float;
+}
+
+let default_params =
+  {
+    half_life = 900.;
+    suppress_threshold = 2.0;
+    reuse_threshold = 0.75;
+    withdrawal_penalty = 1.0;
+    update_penalty = 0.5;
+    max_penalty = 12.0;
+  }
+
+let validate p =
+  if p.half_life <= 0. then invalid_arg "Damping: half_life <= 0";
+  if p.reuse_threshold <= 0. then invalid_arg "Damping: reuse_threshold <= 0";
+  if p.suppress_threshold <= p.reuse_threshold then
+    invalid_arg "Damping: suppress_threshold <= reuse_threshold";
+  if p.withdrawal_penalty < 0. || p.update_penalty < 0. then
+    invalid_arg "Damping: negative penalty increment";
+  if p.max_penalty < p.suppress_threshold then
+    invalid_arg "Damping: max_penalty below suppress_threshold"
+
+type t = {
+  params : params;
+  mutable penalty : float;  (** as of [stamp] *)
+  mutable stamp : float;
+  mutable is_suppressed : bool;
+}
+
+let create params =
+  validate params;
+  { params; penalty = 0.; stamp = neg_infinity; is_suppressed = false }
+
+let decay_to t ~now =
+  if now > t.stamp && t.penalty > 0. then begin
+    let dt = now -. t.stamp in
+    t.penalty <- t.penalty *. (0.5 ** (dt /. t.params.half_life))
+  end;
+  if now > t.stamp then t.stamp <- now
+
+let refresh_suppression t =
+  (* hysteresis: suppress above the suppress threshold, release only
+     below the (lower) reuse threshold *)
+  if t.is_suppressed then begin
+    if t.penalty < t.params.reuse_threshold then t.is_suppressed <- false
+  end
+  else if t.penalty > t.params.suppress_threshold then t.is_suppressed <- true
+
+let penalty t ~now =
+  decay_to t ~now;
+  refresh_suppression t;
+  t.penalty
+
+let bump t ~now amount =
+  decay_to t ~now;
+  t.penalty <- Float.min (t.penalty +. amount) t.params.max_penalty;
+  refresh_suppression t
+
+let on_withdrawal t ~now = bump t ~now t.params.withdrawal_penalty
+
+let on_update t ~now = bump t ~now t.params.update_penalty
+
+let suppressed t ~now =
+  decay_to t ~now;
+  refresh_suppression t;
+  t.is_suppressed
+
+let reuse_at t ~now =
+  if not (suppressed t ~now) then None
+  else
+    (* penalty * 0.5^(dt/half_life) = reuse  =>
+       dt = half_life * log2(penalty / reuse).  Release requires the
+       penalty strictly below the threshold, so land a hair past the
+       crossing instant — otherwise a timer armed exactly at it finds
+       the route still suppressed and re-arms for the same time,
+       forever. *)
+    let dt =
+      t.params.half_life
+      *. (Float.log (t.penalty /. t.params.reuse_threshold) /. Float.log 2.)
+    in
+    Some (now +. dt +. 1e-6)

@@ -1,0 +1,53 @@
+(** Route-flap damping (RFC 2439) — extension beyond the paper.
+
+    Each received route carries a per-(peer, prefix) penalty (the
+    "figure of merit"): withdrawals and re-advertisements add to it, and
+    it decays exponentially with a configurable half-life.  While the
+    penalty exceeds the suppress threshold the route is ignored by the
+    decision process (and hence not propagated); once it decays below
+    the reuse threshold it re-enters.
+
+    Damping is the operational complement of the paper's enhancements:
+    instead of speeding convergence it suppresses unstable routes — and
+    famously interacts badly with BGP path exploration, since a single
+    flap generates enough updates downstream to trip the suppression
+    (Mao et al., SIGCOMM 2002).  The [damping] bench group measures
+    this on the T_short flap scenario. *)
+
+type params = {
+  half_life : float;  (** seconds for the penalty to halve; > 0 *)
+  suppress_threshold : float;  (** penalty above which the route is hidden *)
+  reuse_threshold : float;
+      (** penalty below which a suppressed route returns;
+          0 < reuse < suppress *)
+  withdrawal_penalty : float;  (** added per withdrawal *)
+  update_penalty : float;  (** added per re-advertisement *)
+  max_penalty : float;  (** penalty ceiling *)
+}
+
+val default_params : params
+(** Cisco-like defaults scaled to 1.0 units: half-life 900 s,
+    suppress 2.0, reuse 0.75, withdrawal +1.0, re-advertisement +0.5,
+    ceiling 12.0. *)
+
+val validate : params -> unit
+(** @raise Invalid_argument on non-positive half-life/penalties or
+    thresholds out of order. *)
+
+type t
+(** Mutable per-(peer, prefix) damping state. *)
+
+val create : params -> t
+
+val penalty : t -> now:float -> float
+(** Current (decayed) penalty. *)
+
+val on_withdrawal : t -> now:float -> unit
+
+val on_update : t -> now:float -> unit
+
+val suppressed : t -> now:float -> bool
+
+val reuse_at : t -> now:float -> float option
+(** When a currently-suppressed route's penalty will cross the reuse
+    threshold; [None] if not suppressed. *)

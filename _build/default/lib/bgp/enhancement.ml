@@ -1,0 +1,16 @@
+type t = Standard | Ssld | Wrate | Assertion | Ghost_flushing
+
+let all = [ Standard; Ssld; Wrate; Assertion; Ghost_flushing ]
+
+let name = function
+  | Standard -> "standard"
+  | Ssld -> "ssld"
+  | Wrate -> "wrate"
+  | Assertion -> "assertion"
+  | Ghost_flushing -> "ghost-flushing"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun e -> name e = s) all
+
+let pp fmt t = Format.pp_print_string fmt (name t)

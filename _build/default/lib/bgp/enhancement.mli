@@ -1,0 +1,21 @@
+(** The BGP convergence enhancement mechanisms compared in the paper
+    (§5), plus standard BGP as the baseline.  Exactly one is active per
+    experiment, as in the paper's side-by-side comparison. *)
+
+type t =
+  | Standard  (** RFC 1771 behaviour: MRAI on announcements only *)
+  | Ssld  (** Sender-Side Loop Detection (Labovitz et al.) *)
+  | Wrate  (** Withdrawal RAte liTEmiting: MRAI on withdrawals too *)
+  | Assertion  (** assertion checking of Adj-RIB-In consistency (Pei et al.) *)
+  | Ghost_flushing  (** immediate withdrawal flushes (Bremler-Barr et al.) *)
+
+val all : t list
+(** In the paper's presentation order: standard, SSLD, WRATE,
+    Assertion, Ghost Flushing. *)
+
+val name : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!name}; case-insensitive. *)
+
+val pp : Format.formatter -> t -> unit

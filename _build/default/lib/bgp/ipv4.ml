@@ -1,0 +1,76 @@
+type addr = int32
+
+let addr_of_int32 i = i
+
+let addr_to_int32 a = a
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 ->
+            (* reject forms like "01" or "+1" *)
+            if string_of_int v = x then Some v else None
+        | Some _ | None -> None
+      in
+      (match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d ->
+          Some
+            (Int32.logor
+               (Int32.shift_left (Int32.of_int a) 24)
+               (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d)))
+      | _ -> None)
+  | _ -> None
+
+let addr_to_string a =
+  let v = Int32.to_int (Int32.logand a 0xFF_FF_FFl) in
+  Printf.sprintf "%ld.%d.%d.%d"
+    (Int32.shift_right_logical a 24)
+    ((v lsr 16) land 0xFF)
+    ((v lsr 8) land 0xFF)
+    (v land 0xFF)
+
+let addr_equal = Int32.equal
+
+type cidr = { net : addr; len : int }
+
+let mask_of_length len =
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let cidr a len =
+  if len < 0 || len > 32 then invalid_arg "Ipv4.cidr: mask length outside 0..32";
+  { net = Int32.logand a (mask_of_length len); len }
+
+let cidr_of_string s =
+  match String.split_on_char '/' s with
+  | [ addr ] -> Option.map (fun a -> cidr a 32) (addr_of_string addr)
+  | [ addr; len ] -> (
+      match (addr_of_string addr, int_of_string_opt len) with
+      | Some a, Some l when l >= 0 && l <= 32 -> Some (cidr a l)
+      | _ -> None)
+  | _ -> None
+
+let cidr_to_string c = Printf.sprintf "%s/%d" (addr_to_string c.net) c.len
+
+let network c = c.net
+
+let mask_length c = c.len
+
+let cidr_equal a b = Int32.equal a.net b.net && a.len = b.len
+
+let cidr_compare a b =
+  (* compare networks as unsigned 32-bit values *)
+  let unsigned x = Int32.to_int (Int32.shift_right_logical x 1) * 2 + Int32.to_int (Int32.logand x 1l) in
+  let c = compare (unsigned a.net) (unsigned b.net) in
+  if c <> 0 then c else compare a.len b.len
+
+let contains_addr c a =
+  Int32.equal (Int32.logand a (mask_of_length c.len)) c.net
+
+let subsumes outer inner =
+  outer.len <= inner.len && contains_addr outer inner.net
+
+let bit a i =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.bit: index outside 0..31";
+  Int32.logand (Int32.shift_right_logical a (31 - i)) 1l = 1l

@@ -1,0 +1,53 @@
+(** IPv4 addresses and CIDR prefixes.
+
+    The simulation studies route *dynamics* and identifies destinations
+    abstractly ({!Prefix}), but a BGP library is routinely fed real
+    prefixes.  This module provides the concrete address/prefix types,
+    parsing and containment algebra; {!Netcore.Lpm_trie} provides
+    longest-prefix-match forwarding over them. *)
+
+type addr = private int32
+(** An IPv4 address.  The private representation is the big-endian
+    32-bit value; use {!addr_of_string} / {!addr_to_string}. *)
+
+val addr_of_int32 : int32 -> addr
+
+val addr_to_int32 : addr -> int32
+
+val addr_of_string : string -> addr option
+(** Dotted quad, e.g. ["192.0.2.1"].  [None] on malformed input. *)
+
+val addr_to_string : addr -> string
+
+val addr_equal : addr -> addr -> bool
+
+type cidr
+(** A CIDR prefix: an address and a mask length in [0..32], stored
+    canonically (host bits cleared). *)
+
+val cidr : addr -> int -> cidr
+(** [cidr a len] clears the host bits of [a].
+    @raise Invalid_argument if [len] is outside [0..32]. *)
+
+val cidr_of_string : string -> cidr option
+(** ["10.0.0.0/8"] form; a bare address means [/32]. *)
+
+val cidr_to_string : cidr -> string
+
+val network : cidr -> addr
+
+val mask_length : cidr -> int
+
+val cidr_equal : cidr -> cidr -> bool
+
+val cidr_compare : cidr -> cidr -> int
+(** Total order: by network, then by mask length (shorter first). *)
+
+val contains_addr : cidr -> addr -> bool
+
+val subsumes : cidr -> cidr -> bool
+(** [subsumes outer inner]: every address of [inner] is in [outer]. *)
+
+val bit : addr -> int -> bool
+(** [bit a i] is address bit [i], [0] being the most significant — the
+    branching order of the LPM trie. *)

@@ -1,0 +1,98 @@
+(* A binary trie branching on address bits, most significant first.  A
+   node at depth d corresponds to a d-bit prefix; [value] is bound when
+   that exact prefix is in the table. *)
+
+type 'a t = Empty | Node of { value : 'a option; zero : 'a t; one : 'a t }
+
+let empty = Empty
+
+let node value zero one =
+  match (value, zero, one) with
+  | None, Empty, Empty -> Empty
+  | _ -> Node { value; zero; one }
+
+let add t prefix v =
+  let len = Ipv4.mask_length prefix and net = Ipv4.network prefix in
+  let rec go t depth =
+    let value, zero, one =
+      match t with
+      | Empty -> (None, Empty, Empty)
+      | Node { value; zero; one } -> (value, zero, one)
+    in
+    if depth = len then Node { value = Some v; zero; one }
+    else if Ipv4.bit net depth then
+      Node { value; zero; one = go one (depth + 1) }
+    else Node { value; zero = go zero (depth + 1); one }
+  in
+  go t 0
+
+let remove t prefix =
+  let len = Ipv4.mask_length prefix and net = Ipv4.network prefix in
+  let rec go t depth =
+    match t with
+    | Empty -> Empty
+    | Node { value; zero; one } ->
+        if depth = len then node None zero one
+        else if Ipv4.bit net depth then node value zero (go one (depth + 1))
+        else node value (go zero (depth + 1)) one
+  in
+  go t 0
+
+let find_exact t prefix =
+  let len = Ipv4.mask_length prefix and net = Ipv4.network prefix in
+  let rec go t depth =
+    match t with
+    | Empty -> None
+    | Node { value; zero; one } ->
+        if depth = len then value
+        else if Ipv4.bit net depth then go one (depth + 1)
+        else go zero (depth + 1)
+  in
+  go t 0
+
+let lookup t addr =
+  let rec go t depth best =
+    match t with
+    | Empty -> best
+    | Node { value; zero; one } ->
+        let best =
+          match value with
+          | Some v -> Some (Ipv4.cidr addr depth, v)
+          | None -> best
+        in
+        if depth = 32 then best
+        else if Ipv4.bit addr depth then go one (depth + 1) best
+        else go zero (depth + 1) best
+  in
+  go t 0 None
+
+let fold f t acc =
+  (* reconstruct each prefix from the path; [bits] accumulates the
+     address bits chosen so far, most significant first *)
+  let rec go t depth prefix_bits acc =
+    match t with
+    | Empty -> acc
+    | Node { value; zero; one } ->
+        let acc =
+          match value with
+          | None -> acc
+          | Some v ->
+              let addr = Ipv4.addr_of_int32 prefix_bits in
+              f (Ipv4.cidr addr depth) v acc
+        in
+        (* depth = 32 has no children *)
+        if depth = 32 then acc
+        else
+          let acc = go zero (depth + 1) prefix_bits acc in
+          let one_bits =
+            Int32.logor prefix_bits (Int32.shift_left 1l (31 - depth))
+          in
+          go one (depth + 1) one_bits acc
+  in
+  go t 0 0l acc
+
+let to_list t =
+  fold (fun p v acc -> (p, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> Ipv4.cidr_compare a b)
+
+let size t = fold (fun _ _ n -> n + 1) t 0

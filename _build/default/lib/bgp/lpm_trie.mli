@@ -1,0 +1,31 @@
+(** Longest-prefix-match routing table: a binary trie over CIDR
+    prefixes.
+
+    This is the forwarding structure a real router derives from its
+    Loc-RIB: overlapping prefixes coexist and an address lookup returns
+    the value bound to the most specific covering prefix. *)
+
+type 'a t
+
+val empty : 'a t
+(** The empty table (persistent: all operations return new tables). *)
+
+val add : 'a t -> Ipv4.cidr -> 'a -> 'a t
+(** Binds (or replaces) the value at exactly this prefix. *)
+
+val remove : 'a t -> Ipv4.cidr -> 'a t
+(** Removing an absent prefix is a no-op. *)
+
+val find_exact : 'a t -> Ipv4.cidr -> 'a option
+
+val lookup : 'a t -> Ipv4.addr -> (Ipv4.cidr * 'a) option
+(** Longest-prefix match: the most specific prefix containing the
+    address, with its value. *)
+
+val size : 'a t -> int
+(** Number of bound prefixes. *)
+
+val to_list : 'a t -> (Ipv4.cidr * 'a) list
+(** All bindings, in {!Ipv4.cidr_compare} order. *)
+
+val fold : (Ipv4.cidr -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc

@@ -1,0 +1,64 @@
+type mode = Collapse | Fifo
+
+type 'msg t = {
+  mode : mode;
+  engine : Dessim.Engine.t;
+  draw_interval : unit -> float;
+  transmit : 'msg -> bool;
+  mutable running : bool;
+  mutable handle : Dessim.Engine.handle option;
+  pend : 'msg Queue.t;
+      (* Collapse keeps at most one element; Fifo keeps them all. *)
+}
+
+let create ?(mode = Collapse) ~engine ~draw_interval ~transmit () =
+  {
+    mode;
+    engine;
+    draw_interval;
+    transmit;
+    running = false;
+    handle = None;
+    pend = Queue.create ();
+  }
+
+let enqueue t msg =
+  (match t.mode with Collapse -> Queue.clear t.pend | Fifo -> ());
+  Queue.add msg t.pend
+
+let rec start_timer t =
+  let delay = t.draw_interval () in
+  t.running <- true;
+  t.handle <- Some (Dessim.Engine.schedule_after t.engine ~delay (fun () -> fire t))
+
+and fire t =
+  t.running <- false;
+  t.handle <- None;
+  (* Drain suppressed duplicates without restarting the timer; restart
+     only when something really left. *)
+  let rec drain () =
+    match Queue.take_opt t.pend with
+    | None -> ()
+    | Some msg -> if t.transmit msg then start_timer t else drain ()
+  in
+  drain ()
+
+let offer t msg =
+  if t.running then enqueue t msg
+  else if t.transmit msg then start_timer t
+
+let send_now t ~keep_pending msg =
+  if not keep_pending then Queue.clear t.pend;
+  ignore (t.transmit msg : bool)
+
+let timer_running t = t.running
+
+let pending t = Queue.peek_opt t.pend
+
+let pending_count t = Queue.length t.pend
+
+let reset t =
+  Option.iter Dessim.Engine.cancel t.handle;
+  t.running <- false;
+  t.handle <- None;
+  Queue.clear t.pend

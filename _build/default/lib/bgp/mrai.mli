@@ -1,0 +1,59 @@
+(** Minimum Route Advertisement Interval rate limiter, one instance per
+    (neighbor, destination) pair as in the paper's simulations.
+
+    State machine: when the timer is idle, an {!offer}ed message is
+    transmitted immediately and the timer starts; while it runs, offered
+    messages replace the pending one; on expiry the pending message (if
+    any) is transmitted and the timer restarts.  The timer only restarts
+    when the transmit callback reports that something actually went out
+    (duplicate announcements are suppressed by the caller and must not
+    hold the timer).
+
+    {!send_now} bypasses the timer entirely — RFC 1771 withdrawals and
+    Ghost Flushing's flush withdrawals — without restarting it. *)
+
+type 'msg t
+
+type mode =
+  | Collapse
+      (** only the latest offered message is pending; superseded states
+          are never transmitted (our best reading of the MRAI's
+          intent, and the default) *)
+  | Fifo
+      (** offered messages queue up and drain one per timer expiry, so
+          stale intermediate states still reach the peer.  Provided as
+          an ablation: some BGP implementations buffer updates rather
+          than collapsing them, which lengthens inconsistency windows
+          (see EXPERIMENTS.md on WRATE). *)
+
+val create :
+  ?mode:mode ->
+  engine:Dessim.Engine.t ->
+  draw_interval:(unit -> float) ->
+  transmit:('msg -> bool) ->
+  unit ->
+  'msg t
+(** [transmit] performs the actual send and returns whether a message
+    really left (false = suppressed duplicate).  [mode] defaults to
+    [Collapse]. *)
+
+val offer : 'msg t -> 'msg -> unit
+(** Rate-limited send. *)
+
+val send_now : 'msg t -> keep_pending:bool -> 'msg -> unit
+(** Immediate send, ignoring and not restarting the timer.
+    [keep_pending:false] also discards any pending message (it is
+    superseded, e.g. by a plain withdrawal); [keep_pending:true] leaves
+    it to go out on expiry (Ghost Flushing: the flush withdrawal
+    precedes the still-scheduled announcement). *)
+
+val timer_running : _ t -> bool
+
+val pending : 'msg t -> 'msg option
+(** The next message the timer will release ([Fifo]: the queue head). *)
+
+val pending_count : _ t -> int
+(** [Collapse]: 0 or 1; [Fifo]: the queue length. *)
+
+val reset : _ t -> unit
+(** Session teardown: cancels the timer and drops pending state. *)

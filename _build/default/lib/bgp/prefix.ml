@@ -1,0 +1,18 @@
+type t = { origin : int; index : int }
+
+let make ?(index = 0) ~origin () =
+  if origin < 0 then invalid_arg "Prefix.make: negative origin";
+  if index < 0 then invalid_arg "Prefix.make: negative index";
+  { origin; index }
+
+let origin t = t.origin
+
+let compare = Stdlib.compare
+
+let equal a b = a = b
+
+let hash = Hashtbl.hash
+
+let pp fmt t =
+  if t.index = 0 then Format.fprintf fmt "p%d" t.origin
+  else Format.fprintf fmt "p%d.%d" t.origin t.index

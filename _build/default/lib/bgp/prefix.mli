@@ -1,0 +1,22 @@
+(** Destination prefixes.
+
+    The paper's experiments use a single destination attached to one
+    AS; the library supports any number of prefixes, each identified by
+    its origin AS and an index distinguishing multiple prefixes of the
+    same origin. *)
+
+type t = private { origin : int; index : int }
+
+val make : ?index:int -> origin:int -> unit -> t
+(** [index] defaults to [0].  @raise Invalid_argument on negative
+    [origin] or [index]. *)
+
+val origin : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,194 @@
+type event =
+  | Tdown
+  | Tlong of { a : int; b : int }
+  | Tup
+  | Trecover of { a : int; b : int }
+  | Tshort of { a : int; b : int; down_for : float }
+
+type outcome = {
+  trace : Netcore.Trace.t;
+  prefix : Prefix.t;
+  t_fail : float;
+  convergence_end : float;
+  converged : bool;
+  warmup_end : float;
+  updates_after_fail : int;
+  withdrawals_after_fail : int;
+  events_executed : int;
+  route_changes : int;
+}
+
+let convergence_time o = o.convergence_end -. o.t_fail
+
+(* Quiet gap between warm-up quiescence and failure injection; any value
+   works since the warmed-up network is silent (all MRAI timers idle
+   once the queue drains). *)
+let failure_gap = 10.
+
+let link_key a b = if a < b then (a, b) else (b, a)
+
+let run ?(params = Netcore.Params.default) ?(config = Config.default)
+    ?(max_events = 20_000_000) ~graph ~origin ~event ~seed () =
+  Netcore.Params.validate params;
+  Config.validate config;
+  let n = Topo.Graph.n_nodes graph in
+  if origin < 0 || origin >= n then
+    invalid_arg "Routing_sim.run: origin out of range";
+  if not (Topo.Graph.is_connected graph) then
+    invalid_arg "Routing_sim.run: graph must be connected";
+  (match event with
+  | Tdown | Tup -> ()
+  | Tlong { a; b } | Trecover { a; b } | Tshort { a; b; _ } ->
+      if not (Topo.Graph.has_edge graph a b) then
+        invalid_arg
+          (Printf.sprintf "Routing_sim.run: event link (%d,%d) absent" a b));
+  (match event with
+  | Tshort { down_for; _ } ->
+      if down_for <= 0. then
+        invalid_arg "Routing_sim.run: Tshort down_for must be positive"
+  | Tdown | Tup | Tlong _ | Trecover _ -> ());
+  let engine = Dessim.Engine.create () in
+  let trace = Netcore.Trace.create ~n in
+  let root_rng = Dessim.Rng.create ~seed in
+  let proc_rng = Dessim.Rng.split root_rng ~label:"proc" in
+  let links = Hashtbl.create (Topo.Graph.n_edges graph) in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.add links (link_key a b)
+        (Netcore.Link.create ~a ~b ~delay:params.link_delay))
+    (Topo.Graph.edges graph);
+  let node_procs = Array.init n (fun _ -> Netcore.Node_proc.create ()) in
+  let speakers = Array.make n None in
+  let speaker i =
+    match speakers.(i) with
+    | Some s -> s
+    | None -> assert false (* all created before any event runs *)
+  in
+  let draw_proc_delay () =
+    Dessim.Rng.uniform proc_rng ~lo:params.proc_delay_min
+      ~hi:params.proc_delay_max
+  in
+  let emit_from src ~peer msg =
+    let link =
+      match Hashtbl.find_opt links (link_key src peer) with
+      | Some l -> l
+      | None -> invalid_arg "Routing_sim: emit to non-neighbor"
+    in
+    Netcore.Trace.log_send trace
+      ~time:(Dessim.Engine.now engine)
+      ~src ~dst:peer ~kind:(Msg.kind msg);
+    let deliver () =
+      Netcore.Node_proc.submit node_procs.(peer) ~engine
+        ~delay:(draw_proc_delay ()) ~work:(fun () ->
+          Netcore.Trace.log_process trace
+            ~time:(Dessim.Engine.now engine)
+            ~node:peer ~from:src ~kind:(Msg.kind msg);
+          Speaker.handle_msg (speaker peer) ~from:src msg)
+    in
+    (* A send onto a dead link is dropped silently, like packets into a
+       torn-down TCP session. *)
+    ignore (Netcore.Link.send link ~engine ~from:src ~deliver : bool)
+  in
+  let prefix = Prefix.make ~origin () in
+  let on_next_hop_change_for node ~prefix:p ~next_hop =
+    assert (Prefix.equal p prefix);
+    Netcore.Fib_history.record (Netcore.Trace.fib trace)
+      ~time:(Dessim.Engine.now engine)
+      ~node ~next_hop
+  in
+  for i = 0 to n - 1 do
+    let rng = Dessim.Rng.split root_rng ~label:("speaker-" ^ string_of_int i) in
+    speakers.(i) <-
+      Some
+        (Speaker.create ~engine ~config ~rng ~node:i
+           ~peers:(Topo.Graph.neighbors graph i)
+           ~emit:(emit_from i)
+           ~on_next_hop_change:(on_next_hop_change_for i)
+           ())
+  done;
+  (* Phase 1: warm-up convergence.  Inverse events warm up without
+     the element they will add: Tup never originates here, Trecover
+     starts with its link (and both sessions over it) down. *)
+  (match event with
+  | Trecover { a; b } ->
+      Netcore.Link.fail (Hashtbl.find links (link_key a b));
+      Speaker.session_down (speaker a) ~peer:b;
+      Speaker.session_down (speaker b) ~peer:a
+  | Tdown | Tlong _ | Tup | Tshort _ -> ());
+  (match event with
+  | Tup -> ()
+  | Tdown | Tlong _ | Trecover _ | Tshort _ ->
+      let (_ : Dessim.Engine.handle) =
+        Dessim.Engine.schedule engine ~at:0. (fun () ->
+            Speaker.originate (speaker origin) prefix)
+      in
+      ());
+  Dessim.Engine.run ~max_events engine;
+  let warmup_end = Dessim.Engine.now engine in
+  let warmup_drained = Dessim.Engine.events_executed engine < max_events in
+  (* Phase 2: failure injection. *)
+  let t_fail = warmup_end +. failure_gap in
+  let (_ : Dessim.Engine.handle) =
+    Dessim.Engine.schedule engine ~at:t_fail (fun () ->
+        match event with
+        | Tdown -> Speaker.withdraw_local (speaker origin) prefix
+        | Tup -> Speaker.originate (speaker origin) prefix
+        | Tlong { a; b } ->
+            let link = Hashtbl.find links (link_key a b) in
+            Netcore.Link.fail link;
+            Netcore.Trace.log_link_event trace ~time:t_fail ~a ~b ~up:false;
+            Speaker.session_down (speaker a) ~peer:b;
+            Speaker.session_down (speaker b) ~peer:a
+        | Trecover { a; b } ->
+            let link = Hashtbl.find links (link_key a b) in
+            Netcore.Link.restore link;
+            Netcore.Trace.log_link_event trace ~time:t_fail ~a ~b ~up:true;
+            Speaker.session_up (speaker a) ~peer:b;
+            Speaker.session_up (speaker b) ~peer:a
+        | Tshort { a; b; down_for } ->
+            let link = Hashtbl.find links (link_key a b) in
+            Netcore.Link.fail link;
+            Netcore.Trace.log_link_event trace ~time:t_fail ~a ~b ~up:false;
+            Speaker.session_down (speaker a) ~peer:b;
+            Speaker.session_down (speaker b) ~peer:a;
+            let (_ : Dessim.Engine.handle) =
+              Dessim.Engine.schedule engine ~at:(t_fail +. down_for)
+                (fun () ->
+                  Netcore.Link.restore link;
+                  Netcore.Trace.log_link_event trace
+                    ~time:(t_fail +. down_for) ~a ~b ~up:true;
+                  Speaker.session_up (speaker a) ~peer:b;
+                  Speaker.session_up (speaker b) ~peer:a)
+            in
+            ())
+  in
+  Dessim.Engine.run ~max_events engine;
+  let converged =
+    warmup_drained && Dessim.Engine.events_executed engine < max_events
+  in
+  let convergence_end =
+    match Netcore.Trace.last_send_at_or_after trace ~from:t_fail with
+    | Some time -> time
+    | None -> t_fail
+  in
+  let route_changes =
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      total := !total + Speaker.route_change_count (speaker i)
+    done;
+    !total
+  in
+  {
+    trace;
+    prefix;
+    t_fail;
+    convergence_end;
+    converged;
+    warmup_end;
+    updates_after_fail =
+      Netcore.Trace.count_kind_from trace ~from:t_fail ~kind:Netcore.Trace.Announce;
+    withdrawals_after_fail =
+      Netcore.Trace.count_kind_from trace ~from:t_fail ~kind:Netcore.Trace.Withdraw;
+    events_executed = Dessim.Engine.events_executed engine;
+    route_changes;
+  }

@@ -1,0 +1,69 @@
+(** End-to-end routing simulation of one failure event.
+
+    The run has two phases, mirroring the paper's methodology:
+
+    + {b warm-up}: the origin AS announces its prefix at time 0 and the
+      network converges (the event queue drains);
+    + {b event}: after a quiet gap, the event is injected —
+      [Tdown] removes the origin's route (the destination AS becomes
+      unreachable), [Tlong] fails one link, forcing the network onto
+      less-preferred paths; the inverse events [Tup] and [Trecover]
+      warm up {e without} the route / link and then add it — and the
+      simulation runs to quiescence.
+
+    The outcome carries the {!Netcore.Trace.t} (FIB history + message
+    log) that the forwarding replay and loop analysis consume, and the
+    paper's convergence measurement: convergence starts at the failure
+    and ends when the last BGP update message is sent. *)
+
+type event =
+  | Tdown  (** the destination AS withdraws its prefix *)
+  | Tlong of { a : int; b : int }
+      (** link [(a,b)] fails; the destination stays reachable over
+          less-preferred paths *)
+  | Tup
+      (** the inverse of [Tdown] (Labovitz et al.'s classification,
+          beyond the paper): the network warms up with no route at all
+          and the origin announces its prefix at the event time *)
+  | Trecover of { a : int; b : int }
+      (** the inverse of [Tlong]: the network warms up with link
+          [(a,b)] down, and the link (and both BGP sessions over it)
+          comes back at the event time *)
+  | Tshort of { a : int; b : int; down_for : float }
+      (** a link flap (Labovitz et al.'s T_short): link [(a,b)] fails
+          at the event time and recovers [down_for] seconds later,
+          while the network is still converging around the failure *)
+
+type outcome = {
+  trace : Netcore.Trace.t;
+  prefix : Prefix.t;
+  t_fail : float;  (** failure injection time *)
+  convergence_end : float;
+      (** time the last post-failure message was sent; [t_fail] when the
+          event generated no messages *)
+  converged : bool;  (** the event queue drained within the event budget *)
+  warmup_end : float;
+  updates_after_fail : int;  (** announcements sent at/after [t_fail] *)
+  withdrawals_after_fail : int;
+  events_executed : int;
+  route_changes : int;  (** total best-route changes across all speakers *)
+}
+
+val convergence_time : outcome -> float
+(** [convergence_end - t_fail]. *)
+
+val run :
+  ?params:Netcore.Params.t ->
+  ?config:Config.t ->
+  ?max_events:int ->
+  graph:Topo.Graph.t ->
+  origin:int ->
+  event:event ->
+  seed:int ->
+  unit ->
+  outcome
+(** [run ~graph ~origin ~event ~seed ()] simulates the scenario.
+    Defaults: the paper's {!Netcore.Params.default} and {!Config.default}
+    (standard BGP, MRAI 30 s), [max_events = 20_000_000].
+    @raise Invalid_argument if [origin] is out of range, the graph is
+    not connected, or a [Tlong] link does not exist. *)

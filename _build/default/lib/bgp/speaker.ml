@@ -1,0 +1,379 @@
+type out_state = {
+  mrai : Msg.t Mrai.t;
+  advertised : As_path.t option ref;
+}
+
+type best_route = { learned_from : int option; path : As_path.t }
+
+type dest_state = {
+  prefix : Prefix.t;
+  rib_in : (int, As_path.t) Hashtbl.t;
+  mutable local : bool;
+  mutable best : best_route option;
+  outs : (int, out_state) Hashtbl.t;
+  damp : (int, Damping.t) Hashtbl.t;
+      (* per-peer flap state; populated only when damping is configured *)
+  mutable reuse_timer : Dessim.Engine.handle option;
+}
+
+type t = {
+  node : int;
+  engine : Dessim.Engine.t;
+  config : Config.t;
+  rng : Dessim.Rng.t;
+  mutable live_peers : int list;
+  emit : peer:int -> Msg.t -> unit;
+  on_next_hop_change : prefix:Prefix.t -> next_hop:int option -> unit;
+  dests : (Prefix.t, dest_state) Hashtbl.t;
+  mutable route_changes : int;
+}
+
+let create ~engine ~config ~rng ~node ~peers ~emit ~on_next_hop_change () =
+  Config.validate config;
+  {
+    node;
+    engine;
+    config;
+    rng;
+    live_peers = List.sort_uniq compare peers;
+    emit;
+    on_next_hop_change;
+    dests = Hashtbl.create 4;
+    route_changes = 0;
+  }
+
+let node t = t.node
+
+let peers t = t.live_peers
+
+let dest_state t prefix =
+  match Hashtbl.find_opt t.dests prefix with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          prefix;
+          rib_in = Hashtbl.create 8;
+          local = false;
+          best = None;
+          outs = Hashtbl.create 8;
+          damp = Hashtbl.create 8;
+          reuse_timer = None;
+        }
+      in
+      Hashtbl.add t.dests prefix st;
+      st
+
+let draw_mrai_interval t () =
+  let m = t.config.mrai in
+  if m <= 0. then 0.
+  else Dessim.Rng.uniform t.rng ~lo:(t.config.mrai_jitter_min *. m) ~hi:m
+
+let out_state t st peer =
+  match Hashtbl.find_opt st.outs peer with
+  | Some out -> out
+  | None ->
+      let advertised = ref None in
+      let transmit msg =
+        (* Duplicate suppression: skip messages that would not change
+           what the peer holds from us.  A suppressed message must not
+           (re)start the MRAI timer. *)
+        match (msg : Msg.t) with
+        | Announce { path; _ } -> (
+            match !advertised with
+            | Some prev when As_path.equal prev path -> false
+            | Some _ | None ->
+                advertised := Some path;
+                t.emit ~peer msg;
+                true)
+        | Withdraw _ -> (
+            match !advertised with
+            | None -> false
+            | Some _ ->
+                advertised := None;
+                t.emit ~peer msg;
+                true)
+      in
+      let mrai =
+        Mrai.create ~mode:t.config.rate_limiter ~engine:t.engine
+          ~draw_interval:(draw_mrai_interval t) ~transmit ()
+      in
+      let out = { mrai; advertised } in
+      Hashtbl.add st.outs peer out;
+      out
+
+(* --- route-flap damping hooks --- *)
+
+let damp_state t st peer =
+  match Hashtbl.find_opt st.damp peer with
+  | Some d -> d
+  | None ->
+      let d =
+        match t.config.damping with
+        | Some params -> Damping.create params
+        | None -> assert false (* only called when damping is on *)
+      in
+      Hashtbl.add st.damp peer d;
+      d
+
+let peer_suppressed t st peer =
+  match t.config.damping with
+  | None -> false
+  | Some _ -> (
+      match Hashtbl.find_opt st.damp peer with
+      | None -> false
+      | Some d -> Damping.suppressed d ~now:(Dessim.Engine.now t.engine))
+
+(* --- decision process --- *)
+
+let best_candidate t st =
+  if st.local then Some { learned_from = None; path = As_path.empty }
+  else
+    let better acc cand =
+      match acc with
+      | None -> Some cand
+      | Some cur ->
+          if t.config.policy.Policy.prefer ~self:t.node cand cur < 0 then
+            Some cand
+          else acc
+    in
+    Hashtbl.fold
+      (fun peer path acc ->
+        let cand = { Policy.peer; path } in
+        if
+          t.config.policy.Policy.import_ok ~self:t.node cand
+          && not (peer_suppressed t st peer)
+        then better acc cand
+        else acc)
+      st.rib_in None
+    |> Option.map (fun (c : Policy.candidate) ->
+           { learned_from = Some c.peer; path = c.path })
+
+let next_hop_of = function
+  | None -> None
+  | Some { learned_from; _ } -> learned_from
+
+let equal_best a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y ->
+      x.learned_from = y.learned_from && As_path.equal x.path y.path
+  | None, Some _ | Some _, None -> false
+
+(* What [peer] should hold from us: our best path with ourselves
+   prepended, unless policy filters it or SSLD knows the peer would
+   discard it (its own AS is on the path) — in which case the peer
+   should hold nothing, conveyed by an immediate withdrawal. *)
+let desired_announcement t st peer =
+  match st.best with
+  | None -> None
+  | Some b ->
+      if
+        not
+          (t.config.policy.Policy.export_ok ~self:t.node ~to_peer:peer
+             ~learned_from:b.learned_from)
+      then None
+      else
+        let full = As_path.prepend t.node b.path in
+        if t.config.ssld && As_path.contains full peer then None
+        else Some full
+
+let sync_peer t st peer =
+  let out = out_state t st peer in
+  let prefix = st.prefix in
+  match desired_announcement t st peer with
+  | Some full ->
+      (* Ghost Flushing: if the announcement is stuck behind the MRAI
+         timer and the path got longer than what the peer holds, flush
+         the stale (ghost) route with an immediate withdrawal; the
+         announcement itself still goes out on timer expiry. *)
+      let worse_than_advertised =
+        match !(out.advertised) with
+        | Some prev -> As_path.length full > As_path.length prev
+        | None -> false
+      in
+      if
+        t.config.ghost_flushing
+        && Mrai.timer_running out.mrai
+        && worse_than_advertised
+      then Mrai.send_now out.mrai ~keep_pending:true (Msg.Withdraw { prefix });
+      Mrai.offer out.mrai (Msg.Announce { prefix; path = full })
+  | None ->
+      let withdrawal = Msg.Withdraw { prefix } in
+      if t.config.wrate then Mrai.offer out.mrai withdrawal
+      else Mrai.send_now out.mrai ~keep_pending:false withdrawal
+
+let recompute t st =
+  let new_best = best_candidate t st in
+  if not (equal_best st.best new_best) then begin
+    let old_nh = next_hop_of st.best and new_nh = next_hop_of new_best in
+    st.best <- new_best;
+    t.route_changes <- t.route_changes + 1;
+    if old_nh <> new_nh then
+      t.on_next_hop_change ~prefix:st.prefix ~next_hop:new_nh;
+    List.iter (sync_peer t st) t.live_peers
+  end
+
+(* --- Assertion enhancement (Pei et al.): when [speaker] declares its
+   path to be [latest] (None = no route), any entry from another peer
+   that routes through [speaker] with a different sub-path from
+   [speaker] onward is stale and removed. --- *)
+let assertion_purge st ~speaker ~latest =
+  let stale =
+    Hashtbl.fold
+      (fun peer path acc ->
+        if peer = speaker then acc
+        else
+          match As_path.suffix_from path speaker with
+          | None -> acc
+          | Some suffix -> (
+              match latest with
+              | None -> peer :: acc
+              | Some declared ->
+                  if As_path.equal suffix declared then acc else peer :: acc))
+      st.rib_in []
+  in
+  List.iter (Hashtbl.remove st.rib_in) stale
+
+(* Suppressed routes re-enter the decision on penalty decay, not on any
+   message: keep one timer per destination armed at the earliest reuse
+   instant among suppressed rib-in entries. *)
+let rec schedule_reuse t st =
+  match t.config.damping with
+  | None -> ()
+  | Some _ ->
+      let now = Dessim.Engine.now t.engine in
+      let earliest =
+        Hashtbl.fold
+          (fun peer d acc ->
+            if Hashtbl.mem st.rib_in peer then
+              match Damping.reuse_at d ~now with
+              | None -> acc
+              | Some time -> (
+                  match acc with
+                  | None -> Some time
+                  | Some best -> Some (Float.min best time))
+            else acc)
+          st.damp None
+      in
+      Option.iter Dessim.Engine.cancel st.reuse_timer;
+      st.reuse_timer <-
+        Option.map
+          (fun time ->
+            Dessim.Engine.schedule t.engine ~at:(Float.max time now) (fun () ->
+                st.reuse_timer <- None;
+                recompute t st;
+                schedule_reuse t st))
+          earliest
+
+(* --- external events --- *)
+
+let originate t prefix =
+  let st = dest_state t prefix in
+  if not st.local then begin
+    st.local <- true;
+    recompute t st
+  end
+
+let withdraw_local t prefix =
+  let st = dest_state t prefix in
+  if st.local then begin
+    st.local <- false;
+    recompute t st
+  end
+
+let handle_msg t ~from msg =
+  (* A message can still be sitting in the node's processing queue when
+     the session it arrived over dies; by then its content is void (the
+     peer's routes were flushed at teardown and no withdrawal will ever
+     follow), so late deliveries from dead peers are dropped. *)
+  if not (List.mem from t.live_peers) then ()
+  else
+    match (msg : Msg.t) with
+  | Announce { prefix; path } ->
+      let st = dest_state t prefix in
+      if t.config.damping <> None then
+        Damping.on_update (damp_state t st from)
+          ~now:(Dessim.Engine.now t.engine);
+      (* Path-based poison reverse: a path through us is unusable; per
+         the implicit-withdraw rule it still replaces (hence removes)
+         the peer's previous entry. *)
+      if As_path.contains path t.node then Hashtbl.remove st.rib_in from
+      else Hashtbl.replace st.rib_in from path;
+      if t.config.assertion then
+        assertion_purge st ~speaker:from ~latest:(Some path);
+      recompute t st;
+      schedule_reuse t st
+  | Withdraw { prefix } ->
+      let st = dest_state t prefix in
+      if t.config.damping <> None then
+        Damping.on_withdrawal (damp_state t st from)
+          ~now:(Dessim.Engine.now t.engine);
+      Hashtbl.remove st.rib_in from;
+      if t.config.assertion then assertion_purge st ~speaker:from ~latest:None;
+      recompute t st;
+      schedule_reuse t st
+
+let session_down t ~peer =
+  if List.mem peer t.live_peers then begin
+    t.live_peers <- List.filter (fun p -> p <> peer) t.live_peers;
+    Hashtbl.iter
+      (fun _prefix st ->
+        Hashtbl.remove st.rib_in peer;
+        Hashtbl.remove st.damp peer;
+        (match Hashtbl.find_opt st.outs peer with
+        | Some out ->
+            Mrai.reset out.mrai;
+            out.advertised := None;
+            Hashtbl.remove st.outs peer
+        | None -> ());
+        recompute t st;
+        schedule_reuse t st)
+      t.dests
+  end
+
+let session_up t ~peer =
+  if not (List.mem peer t.live_peers) then begin
+    t.live_peers <- List.sort compare (peer :: t.live_peers);
+    (* table dump: the fresh peer hears every best route we hold *)
+    Hashtbl.iter (fun _prefix st -> sync_peer t st peer) t.dests
+  end
+
+(* --- inspection --- *)
+
+let best t prefix =
+  match Hashtbl.find_opt t.dests prefix with
+  | None -> None
+  | Some st ->
+      Option.map (fun b -> (b.learned_from, b.path)) st.best
+
+let next_hop t prefix =
+  match Hashtbl.find_opt t.dests prefix with
+  | None -> None
+  | Some st -> next_hop_of st.best
+
+let rib_in t prefix =
+  match Hashtbl.find_opt t.dests prefix with
+  | None -> []
+  | Some st ->
+      Hashtbl.fold (fun peer path acc -> (peer, path) :: acc) st.rib_in []
+      |> List.sort compare
+
+let advertised_to t prefix ~peer =
+  match Hashtbl.find_opt t.dests prefix with
+  | None -> None
+  | Some st -> (
+      match Hashtbl.find_opt st.outs peer with
+      | None -> None
+      | Some out -> !(out.advertised))
+
+let route_change_count t = t.route_changes
+
+let suppressed_peers t prefix =
+  match Hashtbl.find_opt t.dests prefix with
+  | None -> []
+  | Some st ->
+      Hashtbl.fold
+        (fun peer _ acc -> if peer_suppressed t st peer then peer :: acc else acc)
+        st.damp []
+      |> List.sort compare

@@ -1,0 +1,85 @@
+(** A BGP speaker: the per-AS protocol instance.
+
+    The speaker keeps, per destination prefix, the latest path received
+    from each neighbor (Adj-RIB-In), its chosen best route (Loc-RIB) and
+    what it has announced to each neighbor (Adj-RIB-Out), and runs the
+    decision process of the paper's model:
+
+    - {b path-based poison reverse}: a received path containing this AS
+      is discarded — and, per the BGP spec's implicit-withdraw rule, it
+      replaces (removes) the neighbor's previous usable entry;
+    - {b preference} by the configured {!Policy.t} (default: shortest
+      path, lowest-ID tie-break);
+    - {b MRAI} per (neighbor, destination) on announcements, with
+      withdrawals exempt unless WRATE is configured;
+    - the {b SSLD}, {b Assertion} and {b Ghost Flushing} enhancements
+      when enabled in {!Config.t}.
+
+    The speaker is transport-agnostic: it emits messages through a
+    callback and is driven by {!handle_msg} / {!session_down} calls from
+    the surrounding simulation. *)
+
+type t
+
+val create :
+  engine:Dessim.Engine.t ->
+  config:Config.t ->
+  rng:Dessim.Rng.t ->
+  node:int ->
+  peers:int list ->
+  emit:(peer:int -> Msg.t -> unit) ->
+  on_next_hop_change:(prefix:Prefix.t -> next_hop:int option -> unit) ->
+  unit ->
+  t
+(** [rng] drives this speaker's MRAI jitter draws.  [emit] must deliver
+    (or drop) the message; it is called at the virtual time the message
+    leaves.  [on_next_hop_change] fires whenever the forwarding next hop
+    for a prefix changes ([None] = no route; the origin's own prefix
+    also reports [None] since packets terminate there). *)
+
+val node : t -> int
+
+val peers : t -> int list
+(** Live peers (sessions up), ascending. *)
+
+val originate : t -> Prefix.t -> unit
+(** Install a local route for [prefix] and announce it. *)
+
+val withdraw_local : t -> Prefix.t -> unit
+(** Remove the local route — the paper's [T_down] event at the origin. *)
+
+val handle_msg : t -> from:int -> Msg.t -> unit
+(** Process a routing message (to be called after the processing
+    delay). *)
+
+val session_down : t -> peer:int -> unit
+(** The link to [peer] failed: drop its Adj-RIB-In entries, reset its
+    MRAI state, re-decide.  Idempotent. *)
+
+val session_up : t -> peer:int -> unit
+(** A (new or recovered) session to [peer] established: start with an
+    empty Adj-RIB-In for it and advertise our current best routes, as a
+    real BGP speaker dumps its table to a fresh peer.  Idempotent. *)
+
+(** {2 Inspection} *)
+
+val best : t -> Prefix.t -> (int option * As_path.t) option
+(** [(learned_from, path)] of the current best route; [learned_from =
+    None] and the empty path for a local route. *)
+
+val next_hop : t -> Prefix.t -> int option
+
+val rib_in : t -> Prefix.t -> (int * As_path.t) list
+(** Current Adj-RIB-In entries, by peer, ascending. *)
+
+val advertised_to : t -> Prefix.t -> peer:int -> As_path.t option
+(** What [peer] currently holds from us (Adj-RIB-Out after the last
+    transmitted message). *)
+
+val route_change_count : t -> int
+(** Number of best-route changes since creation (any attribute, not
+    just next hop). *)
+
+val suppressed_peers : t -> Prefix.t -> int list
+(** Peers whose route for [prefix] is currently suppressed by
+    route-flap damping, ascending; always [[]] when damping is off. *)

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Bgp Dessim List Loopscan Metrics Netcore Printf Stdlib Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Bgp Loopscan Metrics Netcore Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Array Experiment List Metrics Stats

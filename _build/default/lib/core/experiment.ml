@@ -1,0 +1,163 @@
+type topology =
+  | Clique of int
+  | B_clique of int
+  | Internet of int
+  | Waxman of int
+  | Glp of int
+  | Custom of { graph : Topo.Graph.t; origin : int; name : string }
+
+type event_spec =
+  | Tdown
+  | Tlong
+  | Tlong_link of int * int
+  | Tup
+  | Trecover
+  | Trecover_link of int * int
+
+type spec = {
+  topology : topology;
+  event : event_spec;
+  enhancement : Bgp.Enhancement.t;
+  mrai : float;
+  seed : int;
+  params : Netcore.Params.t;
+  replay_tail : float;
+}
+
+let default_spec topology =
+  {
+    topology;
+    event = Tdown;
+    enhancement = Bgp.Enhancement.Standard;
+    mrai = 30.;
+    seed = 1;
+    params = Netcore.Params.default;
+    replay_tail = 2.;
+  }
+
+let topology_name = function
+  | Clique n -> Printf.sprintf "clique-%d" n
+  | B_clique n -> Printf.sprintf "b-clique-%d" n
+  | Internet n -> Printf.sprintf "internet-%d" n
+  | Waxman n -> Printf.sprintf "waxman-%d" n
+  | Glp n -> Printf.sprintf "glp-%d" n
+  | Custom { name; _ } -> name
+
+let node_count = function
+  | Clique n -> n
+  | B_clique n -> 2 * n
+  | Internet n | Waxman n | Glp n -> n
+  | Custom { graph; _ } -> Topo.Graph.n_nodes graph
+
+(* Destination links whose failure keeps the destination reachable. *)
+let survivable_links graph origin =
+  List.filter
+    (fun peer ->
+      let without = Topo.Graph.remove_edge graph origin peer in
+      Topo.Graph.is_connected without)
+    (Topo.Graph.neighbors graph origin)
+  |> List.map (fun peer -> (origin, peer))
+
+let resolve spec =
+  let rng = Dessim.Rng.create ~seed:(spec.seed + 0x7_0b0) in
+  let graph, origin =
+    match spec.topology with
+    | Clique n -> (Topo.Generators.clique n, 0)
+    | B_clique n -> (Topo.Generators.b_clique n, 0)
+    | Internet _ | Waxman _ | Glp _ ->
+        let graph =
+          match spec.topology with
+          | Internet n -> Topo.Internet.generate ~seed:spec.seed n
+          | Waxman n -> Topo.Random_graphs.waxman ~seed:spec.seed n
+          | Glp n -> Topo.Random_graphs.glp ~m:2 ~seed:spec.seed n
+          | Clique _ | B_clique _ | Custom _ -> assert false
+        in
+        let stubs = Topo.Graph.min_degree_nodes graph in
+        let candidates =
+          match spec.event with
+          | Tlong | Trecover ->
+              (* the link event must leave the destination reachable
+                 without it: among the nodes with a survivable link,
+                 keep the lowest-degree ones (stubs are often
+                 single-homed and thus excluded) *)
+              let survivable =
+                List.filter
+                  (fun v -> survivable_links graph v <> [])
+                  (Topo.Graph.nodes graph)
+              in
+              let min_degree =
+                List.fold_left
+                  (fun acc v -> Stdlib.min acc (Topo.Graph.degree graph v))
+                  max_int survivable
+              in
+              List.filter
+                (fun v -> Topo.Graph.degree graph v = min_degree)
+                survivable
+          | Tdown | Tup | Tlong_link _ | Trecover_link _ -> stubs
+        in
+        if candidates = [] then
+          invalid_arg "Experiment.resolve: no viable destination AS";
+        (graph, Dessim.Rng.pick rng candidates)
+    | Custom { graph; origin; _ } -> (graph, origin)
+  in
+  (* canonical link for the Tlong/Trecover families: B-Clique uses the
+     paper's (0, n) core link, other topologies a seed-chosen
+     destination link whose loss keeps the graph connected *)
+  let canonical_link () =
+    match spec.topology with
+    | B_clique n -> (0, n)
+    | Clique _ | Internet _ | Waxman _ | Glp _ | Custom _ -> (
+        match survivable_links graph origin with
+        | [] ->
+            invalid_arg
+              "Experiment.resolve: no destination link survives the event"
+        | links -> Dessim.Rng.pick rng links)
+  in
+  let event =
+    match spec.event with
+    | Tdown -> Bgp.Routing_sim.Tdown
+    | Tup -> Bgp.Routing_sim.Tup
+    | Tlong_link (a, b) -> Bgp.Routing_sim.Tlong { a; b }
+    | Trecover_link (a, b) -> Bgp.Routing_sim.Trecover { a; b }
+    | Tlong ->
+        let a, b = canonical_link () in
+        Bgp.Routing_sim.Tlong { a; b }
+    | Trecover ->
+        let a, b = canonical_link () in
+        Bgp.Routing_sim.Trecover { a; b }
+  in
+  (graph, origin, event)
+
+type run = {
+  spec : spec;
+  outcome : Bgp.Routing_sim.outcome;
+  replay : Traffic.Replay.result;
+  loops : Loopscan.Scanner.report;
+  metrics : Metrics.Run_metrics.t;
+}
+
+let run spec =
+  let graph, origin, event = resolve spec in
+  let config = Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement in
+  let outcome =
+    Bgp.Routing_sim.run ~params:spec.params ~config ~graph ~origin ~event
+      ~seed:spec.seed ()
+  in
+  let fib = Netcore.Trace.fib outcome.trace in
+  let window_end = outcome.convergence_end +. spec.replay_tail in
+  let replay =
+    Traffic.Replay.run ~fib ~origin ~n:(Topo.Graph.n_nodes graph)
+      ~link_delay:spec.params.link_delay ~ttl:spec.params.ttl
+      ~rate:spec.params.pkt_rate
+      ~window:(outcome.t_fail, window_end)
+      ~seed:(spec.seed + 0x7ea) ~ratio_cutoff:outcome.convergence_end ()
+  in
+  let loops =
+    Loopscan.Scanner.scan ~fib ~origin ~from:outcome.t_fail
+  in
+  let metrics =
+    Metrics.Run_metrics.make ~outcome ~replay ~loops ~loops_until:window_end
+  in
+  { spec; outcome; replay; loops; metrics }
+
+let metrics spec = (run spec).metrics

@@ -1,0 +1,80 @@
+(** One self-contained experiment: topology + failure event +
+    enhancement + MRAI + seed, run end to end (routing simulation,
+    traffic replay, loop scan) into {!Metrics.Run_metrics.t}.
+
+    The topology/event conventions follow the paper:
+
+    - [Clique n]: destination AS is node 0 ([T_down] withdraws it;
+      [T_long] fails one of its links, picked by seed);
+    - [B_clique n] (2n nodes): destination is node 0, [T_long] fails
+      the direct core link [(0, n)], leaving the length-n chain as the
+      backup path;
+    - [Internet n]: a seeded AS-like graph; the destination is drawn
+      among the lowest-degree (stub) nodes, and [T_long] fails a
+      seed-chosen destination link that keeps the graph connected
+      (redrawing the destination if it is single-homed);
+    - [Waxman n] / [Glp n]: alternative random models with the same
+      destination/link conventions as [Internet], for topology
+      provenance studies;
+    - [Custom]: caller-provided graph and origin. *)
+
+type topology =
+  | Clique of int
+  | B_clique of int  (** the paper's size parameter; the graph has 2n nodes *)
+  | Internet of int
+  | Waxman of int  (** Waxman random graph (provenance studies) *)
+  | Glp of int  (** GLP random graph (provenance studies) *)
+  | Custom of { graph : Topo.Graph.t; origin : int; name : string }
+
+type event_spec =
+  | Tdown
+  | Tlong  (** the topology's canonical long-path failure (see above) *)
+  | Tlong_link of int * int  (** an explicit link *)
+  | Tup  (** inverse of [Tdown]: the prefix appears (extension) *)
+  | Trecover
+      (** inverse of [Tlong]: the canonical link comes back after the
+          network converged without it (extension) *)
+  | Trecover_link of int * int
+
+type spec = {
+  topology : topology;
+  event : event_spec;
+  enhancement : Bgp.Enhancement.t;
+  mrai : float;
+  seed : int;
+  params : Netcore.Params.t;
+  replay_tail : float;
+      (** seconds of traffic kept flowing past convergence to catch
+          loops that outlive the last sent message; the looping-ratio
+          denominator still counts only packets sent during
+          convergence *)
+}
+
+val default_spec : topology -> spec
+(** [T_down], standard BGP, MRAI 30 s, seed 1, paper parameters,
+    2 s replay tail. *)
+
+val topology_name : topology -> string
+
+val node_count : topology -> int
+
+val resolve :
+  spec -> Topo.Graph.t * int * Bgp.Routing_sim.event
+(** The concrete graph, origin and failure event a spec denotes
+    (deterministic in the seed).  Exposed for examples and tests.
+    @raise Invalid_argument on specs that cannot be realized (e.g.
+    [Tlong] on a topology where every candidate link disconnects the
+    destination). *)
+
+type run = {
+  spec : spec;
+  outcome : Bgp.Routing_sim.outcome;
+  replay : Traffic.Replay.result;
+  loops : Loopscan.Scanner.report;
+  metrics : Metrics.Run_metrics.t;
+}
+
+val run : spec -> run
+
+val metrics : spec -> Metrics.Run_metrics.t
+(** [metrics spec = (run spec).metrics]. *)

@@ -1,0 +1,41 @@
+let float_cell x = Printf.sprintf "%.2f" x
+
+let ratio_cell x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let trim_right s =
+  let len = ref (String.length s) in
+  while !len > 0 && s.[!len - 1] = ' ' do
+    decr len
+  done;
+  String.sub s 0 !len
+
+let table ~title ~header ~rows =
+  let cols = List.length header in
+  let pad row =
+    let len = List.length row in
+    if len > cols then invalid_arg "Report.table: row wider than header";
+    row @ List.init (cols - len) (fun _ -> "")
+  in
+  let rows = List.map pad rows in
+  let all = header :: rows in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row c)))
+          0 all)
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           cell ^ String.make (w - String.length cell) ' ')
+         row)
+    |> trim_right
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (title :: render_row header :: rule :: List.map render_row rows)
+  ^ "\n"

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for experiment output (the bench harness
+    prints one table per paper figure). *)
+
+val table :
+  title:string -> header:string list -> rows:string list list -> string
+(** Column-aligned table with a title line and a rule under the
+    header.  Rows shorter than the header are padded with empty cells.
+    @raise Invalid_argument if a row is longer than the header. *)
+
+val float_cell : float -> string
+(** Compact numeric cell: %.2f. *)
+
+val ratio_cell : float -> string
+(** Percentage cell: %.1f%%. *)

@@ -1,0 +1,19 @@
+let over_seeds spec ~seeds =
+  if seeds = [] then invalid_arg "Sweep.over_seeds: empty seed list";
+  List.map (fun seed -> Experiment.metrics { spec with seed }) seeds
+  |> Metrics.Run_metrics.mean
+
+let series ~make ~seeds xs =
+  List.map (fun x -> (x, over_seeds (make x) ~seeds)) xs
+
+let default_seeds = [ 1; 2; 3; 4; 5 ]
+
+let over_seeds_summary spec ~seeds ~metric =
+  if seeds = [] then invalid_arg "Sweep.over_seeds_summary: empty seed list";
+  List.map (fun seed -> metric (Experiment.metrics { spec with seed })) seeds
+  |> Array.of_list
+  |> Stats.Descriptive.summarize
+
+let linearity points ~x ~y =
+  Stats.Linear_fit.fit
+    (Array.of_list (List.map (fun (px, m) -> (x px, y m)) points))

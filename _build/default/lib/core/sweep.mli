@@ -1,0 +1,38 @@
+(** Parameter sweeps with multi-seed averaging — the shape of every
+    figure in the paper: a metric series against network size, MRAI
+    value, or enhancement. *)
+
+val over_seeds :
+  Experiment.spec -> seeds:int list -> Metrics.Run_metrics.t
+(** Mean metrics over re-runs of [spec] with each seed (the paper's
+    "simulations were repeated a number of times with different
+    destination ASes and failed links").
+    @raise Invalid_argument on an empty seed list. *)
+
+val series :
+  make:('x -> Experiment.spec) ->
+  seeds:int list ->
+  'x list ->
+  ('x * Metrics.Run_metrics.t) list
+(** One averaged data point per sweep value. *)
+
+val default_seeds : int list
+(** Seeds 1–5. *)
+
+val over_seeds_summary :
+  Experiment.spec ->
+  seeds:int list ->
+  metric:(Metrics.Run_metrics.t -> float) ->
+  Stats.Descriptive.summary
+(** Dispersion of one metric across seeds (mean, sd, min/median/max) —
+    for reporting run-to-run variance alongside the mean, e.g. on the
+    high-variance Internet [T_long] scenarios.
+    @raise Invalid_argument on an empty seed list. *)
+
+val linearity :
+  ('x * Metrics.Run_metrics.t) list ->
+  x:('x -> float) ->
+  y:(Metrics.Run_metrics.t -> float) ->
+  Stats.Linear_fit.t
+(** Least-squares check of the paper's "linearly proportional"
+    observations over a sweep. *)

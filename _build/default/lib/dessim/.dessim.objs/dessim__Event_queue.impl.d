@@ -1,0 +1,1 @@
+lib/dessim/event_queue.ml: Array Float Stdlib

@@ -1,0 +1,1 @@
+lib/dessim/rng.ml: Array Hashtbl List Random

@@ -1,0 +1,66 @@
+type handle = { mutable state : [ `Pending | `Cancelled | `Fired ] }
+
+type event = { action : unit -> unit; handle : handle }
+
+type t = {
+  queue : event Event_queue.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create ?(now = 0.) () =
+  { queue = Event_queue.create (); clock = now; executed = 0 }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now %g" at t.clock);
+  let handle = { state = `Pending } in
+  Event_queue.push t.queue ~time:at { action; handle };
+  handle
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let cancel handle =
+  match handle.state with
+  | `Pending -> handle.state <- `Cancelled
+  | `Cancelled | `Fired -> ()
+
+let cancelled handle = handle.state = `Cancelled
+
+let rec step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, ev) -> (
+      match ev.handle.state with
+      | `Cancelled -> step t
+      | `Fired -> assert false
+      | `Pending ->
+          t.clock <- time;
+          ev.handle.state <- `Fired;
+          t.executed <- t.executed + 1;
+          ev.action ();
+          true)
+
+let run ?until ?max_events t =
+  let budget_left () =
+    match max_events with None -> true | Some m -> t.executed < m
+  in
+  let next_in_bound () =
+    match (until, Event_queue.peek_time t.queue) with
+    | _, None -> true (* step will return false *)
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  let rec loop () =
+    if budget_left () && next_in_bound () then if step t then loop ()
+  in
+  loop ()
+
+let pending t = Event_queue.size t.queue
+
+let events_executed t = t.executed

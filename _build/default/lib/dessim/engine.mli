@@ -1,0 +1,45 @@
+(** Discrete-event simulation engine.
+
+    Events are closures executed at their scheduled virtual time.  The
+    engine guarantees: events fire in nondecreasing time order; events
+    scheduled at equal times fire in scheduling order; the clock never
+    moves backwards.  Scheduling into the past raises. *)
+
+type t
+
+type handle
+(** A scheduled event.  Cancelling a handle is O(1); the event stays in
+    the queue but is skipped when dequeued. *)
+
+val create : ?now:float -> unit -> t
+(** A fresh engine; the clock starts at [now] (default [0.]). *)
+
+val now : t -> float
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** @raise Invalid_argument if [at < now t]. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f = schedule t ~at:(now t +. delay) f].
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val step : t -> bool
+(** Executes the next non-cancelled event.  Returns [false] when the
+    queue holds no live events. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Runs events until the queue drains, the next event would fire after
+    [until], or [max_events] live events have executed.  With [until],
+    the clock is left at [min until (last fired time)] — it does not
+    jump to [until]. *)
+
+val pending : t -> int
+(** Number of queued events, including cancelled ones not yet skipped. *)
+
+val events_executed : t -> int
+(** Total live events executed since creation. *)

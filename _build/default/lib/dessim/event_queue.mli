@@ -1,0 +1,21 @@
+(** Priority queue of timestamped items, ordered by [(time, sequence)].
+
+    Items inserted at equal times are dequeued in insertion order, which
+    makes simulation runs deterministic independent of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument if [time] is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest item. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest item, without removing it. *)

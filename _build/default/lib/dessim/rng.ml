@@ -1,0 +1,37 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x6267_7073; 0x696d |]
+
+let split t ~label =
+  (* Derive a child seed from the parent stream and the label so that
+     sibling streams are decorrelated and the parent advances by one
+     draw per split, independent of label length. *)
+  let h = Hashtbl.hash label in
+  let s = Random.State.bits t in
+  Random.State.make [| s; h; 0x7370_6c69 |]
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
+  Random.State.float t bound
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  if hi = lo then lo else lo +. Random.State.float t (hi -. lo)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let bool t = Random.State.bool t
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,37 @@
+(** Deterministic, splittable random number streams.
+
+    Every stochastic quantity in a simulation run (message processing
+    delays, MRAI jitter, traffic phases, topology generation, random
+    destination / failed-link choice) draws from a stream rooted at a
+    single integer seed, so any run is exactly reproducible from its
+    seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> label:string -> t
+(** [split t ~label] derives an independent stream.  Streams split with
+    different labels from the same parent are decorrelated; splitting
+    with the same label twice yields two streams continuing the same
+    derived sequence root (callers should use distinct labels). *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw from [\[lo, hi)].  @raise Invalid_argument if
+    [hi < lo]; returns [lo] when [hi = lo]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice.  @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

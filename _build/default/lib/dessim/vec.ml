@@ -1,0 +1,37 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let bigger = Array.make (Stdlib.max 16 (2 * cap)) x in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.get: index out of range";
+  t.data.(i)
+
+let last t = if t.size = 0 then None else Some t.data.(t.size - 1)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 t.size
+
+let to_list t = Array.to_list (to_array t)

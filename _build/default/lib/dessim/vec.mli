@@ -1,0 +1,23 @@
+(** Growable arrays (append-only usage pattern in the simulator's
+    trace/log structures). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-range index. *)
+
+val last : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list

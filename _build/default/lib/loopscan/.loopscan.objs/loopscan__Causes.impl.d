@@ -1,0 +1,1 @@
+lib/loopscan/causes.ml: Format List Netcore Scanner

@@ -1,0 +1,1 @@
+lib/loopscan/causes.mli: Format Netcore Scanner

@@ -1,0 +1,1 @@
+lib/loopscan/scanner.ml: Array Dessim Format Hashtbl List Netcore Printf Stats Stdlib String

@@ -1,0 +1,1 @@
+lib/loopscan/scanner.mli: Format Netcore

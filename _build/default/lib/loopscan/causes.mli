@@ -1,0 +1,35 @@
+(** Classification of what triggered each transient loop.
+
+    A loop is born when its trigger node repoints its FIB; that
+    repointing is the decision taken right after the node processed
+    some routing message, or reacted to a local session event.
+    Correlating loop births with the trace's processed-message log
+    separates:
+
+    - withdrawal-triggered loops — the node lost its route and fell
+      back to a stale path (the paper's Figure 1 mechanism);
+    - announcement-triggered loops — a (possibly implicit-withdraw)
+      update made the node re-decide onto a stale path;
+    - session-triggered loops — the node reacted to its own link
+      failing, with no message involved ([T_long] at the endpoints).
+
+    This refines the paper's aggregate view, following its announced
+    next step of studying individual loops. *)
+
+type cause = Withdrawal_triggered | Announcement_triggered | Session_triggered
+
+val cause_name : cause -> string
+
+val classify :
+  trace:Netcore.Trace.t -> Scanner.report -> (Scanner.loop * cause) list
+(** One entry per loop, in the report's order. *)
+
+type breakdown = {
+  withdrawal_triggered : int;
+  announcement_triggered : int;
+  session_triggered : int;
+}
+
+val breakdown : (Scanner.loop * cause) list -> breakdown
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

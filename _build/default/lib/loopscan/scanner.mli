@@ -1,0 +1,65 @@
+(** Forwarding-loop tracking over a FIB history.
+
+    The per-destination forwarding state is a functional graph (each
+    node has at most one next hop), so its cycles are node-disjoint and
+    each node belongs to at most one loop.  A FIB change at node [v]
+    can only kill the loop [v] is a member of (its outgoing edge
+    changed) and can only create a loop through [v] (any new cycle must
+    use [v]'s new edge) — so scanning the chronological change log and
+    chasing next-hop chains from changed nodes tracks every loop
+    exactly.
+
+    This implements the paper's stated next step ("measure the
+    statistics of individual loops such as the loop size and
+    duration"), which the published study only measured in aggregate. *)
+
+type loop = {
+  members : int list;
+      (** the cycle in forwarding order, starting at its smallest
+          member *)
+  birth : float;
+  death : float option;  (** [None] if alive at the end of the scan *)
+  trigger : int;
+      (** the node whose next-hop change created the cycle (a cycle can
+          only form through the changed node's new edge) *)
+}
+
+val size : loop -> int
+
+val duration : loop -> until:float -> float
+(** Lifetime, using [until] for loops still alive. *)
+
+val pp_loop : Format.formatter -> loop -> unit
+
+type report = {
+  loops : loop list;  (** by birth time *)
+  first_loop_birth : float option;
+  last_loop_death : float option;
+      (** [None] when no loop formed or one survived the scan *)
+  max_concurrent : int;  (** most loops alive at once *)
+}
+
+val scan :
+  fib:Netcore.Fib_history.t -> origin:int -> from:float -> report
+(** [scan ~fib ~origin ~from] starts from the forwarding state just
+    before [from] (which must be loop-free, e.g. a converged warm-up
+    state) and processes all changes at or after [from].
+    @raise Invalid_argument if the starting state already contains a
+    loop. *)
+
+(** {2 Aggregates} *)
+
+type aggregate = {
+  count : int;
+  mean_size : float;
+  max_size : int;
+  mean_duration : float;
+  max_duration : float;
+  total_loop_seconds : float;
+      (** sum of loop lifetimes — a load-like measure of looping *)
+}
+
+val aggregate : report -> until:float -> aggregate
+(** Zeroed fields when no loops formed. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

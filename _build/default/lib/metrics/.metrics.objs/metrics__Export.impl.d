@@ -1,0 +1,1 @@
+lib/metrics/export.ml: Buffer List Loopscan Netcore Printf Run_metrics String

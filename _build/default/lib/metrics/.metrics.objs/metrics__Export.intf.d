@@ -1,0 +1,1 @@
+lib/metrics/export.mli: Loopscan Netcore Run_metrics

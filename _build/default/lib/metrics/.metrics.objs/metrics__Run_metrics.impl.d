@@ -1,0 +1,1 @@
+lib/metrics/run_metrics.ml: Bgp Float Format List Loopscan Printf Traffic

@@ -1,0 +1,1 @@
+lib/metrics/run_metrics.mli: Bgp Format Loopscan Traffic

@@ -1,0 +1,1 @@
+lib/metrics/timeline.ml: Array Char Float List Loopscan Netcore Option Printf Stdlib String

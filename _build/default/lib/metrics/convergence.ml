@@ -1,0 +1,47 @@
+type t = {
+  per_node : (int * float option) list;
+  affected_nodes : int;
+  mean_settle : float;
+  max_settle : float;
+  total_changes : int;
+}
+
+let analyze ~fib ~from =
+  let n = Netcore.Fib_history.n_nodes fib in
+  let changes = Netcore.Fib_history.changes_from fib ~from in
+  let last = Array.make n None in
+  List.iter
+    (fun (c : Netcore.Fib_history.change) -> last.(c.node) <- Some c.time)
+    changes;
+  let per_node = List.init n (fun v -> (v, last.(v))) in
+  let settles =
+    List.filter_map (fun (_, t) -> Option.map (fun x -> x -. from) t) per_node
+  in
+  let affected_nodes = List.length settles in
+  {
+    per_node;
+    affected_nodes;
+    mean_settle =
+      (if affected_nodes = 0 then 0.
+       else
+         List.fold_left ( +. ) 0. settles /. float_of_int affected_nodes);
+    max_settle = List.fold_left Float.max 0. settles;
+    total_changes = List.length changes;
+  }
+
+let churn_timeline ~fib ~from ~bucket =
+  if bucket <= 0. then invalid_arg "Convergence.churn_timeline: bucket <= 0";
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Netcore.Fib_history.change) ->
+      let bin = Float.floor ((c.time -. from) /. bucket) in
+      Hashtbl.replace tbl bin
+        (1 + Option.value (Hashtbl.find_opt tbl bin) ~default:0))
+    (Netcore.Fib_history.changes_from fib ~from);
+  Hashtbl.fold (fun bin count acc -> ((from +. (bin *. bucket)), count) :: acc) tbl []
+  |> List.sort compare
+
+let pp fmt t =
+  Format.fprintf fmt
+    "affected=%d/%d changes=%d settle(mean/max)=%.2f/%.2f s" t.affected_nodes
+    (List.length t.per_node) t.total_changes t.mean_settle t.max_settle

@@ -1,0 +1,32 @@
+(** Per-node convergence analysis of a run.
+
+    The paper measures convergence as a single network-wide instant
+    (the last update sent).  This module refines that: each node's own
+    convergence instant is its last FIB change, giving the distribution
+    of how long individual ASes stayed unstable, and an activity
+    timeline of FIB churn — useful for seeing the MRAI-paced rounds of
+    path exploration. *)
+
+type t = {
+  per_node : (int * float option) list;
+      (** (node, last FIB change at/after the event), [None] for nodes
+          whose forwarding never changed; ascending by node *)
+  affected_nodes : int;  (** nodes with at least one change *)
+  mean_settle : float;
+      (** mean of (last change − event time) over affected nodes; [0.]
+          when none *)
+  max_settle : float;
+  total_changes : int;
+}
+
+val analyze : fib:Netcore.Fib_history.t -> from:float -> t
+(** [analyze ~fib ~from] summarizes all changes at/after [from] (the
+    event injection time). *)
+
+val churn_timeline :
+  fib:Netcore.Fib_history.t -> from:float -> bucket:float -> (float * int) list
+(** FIB changes at/after [from], bucketed into [bucket]-second bins:
+    [(bin start, change count)], only non-empty bins, ascending.
+    @raise Invalid_argument if [bucket <= 0.]. *)
+
+val pp : Format.formatter -> t -> unit

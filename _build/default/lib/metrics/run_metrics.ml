@@ -1,0 +1,122 @@
+type t = {
+  convergence_time : float;
+  overall_looping_duration : float;
+  ttl_exhaustions : int;
+  packets_sent : int;
+  looping_ratio : float;
+  packets_delivered : int;
+  packets_unreachable : int;
+  updates_sent : int;
+  withdrawals_sent : int;
+  route_changes : int;
+  loop_count : int;
+  loop_mean_size : float;
+  loop_max_size : int;
+  loop_mean_duration : float;
+  loop_max_duration : float;
+  max_concurrent_loops : int;
+  converged : bool;
+}
+
+let make ~(outcome : Bgp.Routing_sim.outcome) ~(replay : Traffic.Replay.result)
+    ~(loops : Loopscan.Scanner.report) ~loops_until =
+  let agg = Loopscan.Scanner.aggregate loops ~until:loops_until in
+  {
+    convergence_time = Bgp.Routing_sim.convergence_time outcome;
+    overall_looping_duration = Traffic.Replay.overall_looping_duration replay;
+    ttl_exhaustions = replay.exhausted;
+    packets_sent = replay.sent_for_ratio;
+    looping_ratio = Traffic.Replay.looping_ratio replay;
+    packets_delivered = replay.delivered;
+    packets_unreachable = replay.unreachable;
+    updates_sent = outcome.updates_after_fail;
+    withdrawals_sent = outcome.withdrawals_after_fail;
+    route_changes = outcome.route_changes;
+    loop_count = agg.count;
+    loop_mean_size = agg.mean_size;
+    loop_max_size = agg.max_size;
+    loop_mean_duration = agg.mean_duration;
+    loop_max_duration = agg.max_duration;
+    max_concurrent_loops = loops.max_concurrent;
+    converged = outcome.converged;
+  }
+
+let zero =
+  {
+    convergence_time = 0.;
+    overall_looping_duration = 0.;
+    ttl_exhaustions = 0;
+    packets_sent = 0;
+    looping_ratio = 0.;
+    packets_delivered = 0;
+    packets_unreachable = 0;
+    updates_sent = 0;
+    withdrawals_sent = 0;
+    route_changes = 0;
+    loop_count = 0;
+    loop_mean_size = 0.;
+    loop_max_size = 0;
+    loop_mean_duration = 0.;
+    loop_max_duration = 0.;
+    max_concurrent_loops = 0;
+    converged = true;
+  }
+
+let mean = function
+  | [] -> invalid_arg "Run_metrics.mean: empty list"
+  | runs ->
+      let k = float_of_int (List.length runs) in
+      let favg f = List.fold_left (fun acc r -> acc +. f r) 0. runs /. k in
+      let iavg f =
+        int_of_float
+          (Float.round
+             (List.fold_left (fun acc r -> acc +. float_of_int (f r)) 0. runs
+             /. k))
+      in
+      {
+        convergence_time = favg (fun r -> r.convergence_time);
+        overall_looping_duration = favg (fun r -> r.overall_looping_duration);
+        ttl_exhaustions = iavg (fun r -> r.ttl_exhaustions);
+        packets_sent = iavg (fun r -> r.packets_sent);
+        looping_ratio = favg (fun r -> r.looping_ratio);
+        packets_delivered = iavg (fun r -> r.packets_delivered);
+        packets_unreachable = iavg (fun r -> r.packets_unreachable);
+        updates_sent = iavg (fun r -> r.updates_sent);
+        withdrawals_sent = iavg (fun r -> r.withdrawals_sent);
+        route_changes = iavg (fun r -> r.route_changes);
+        loop_count = iavg (fun r -> r.loop_count);
+        loop_mean_size = favg (fun r -> r.loop_mean_size);
+        loop_max_size = iavg (fun r -> r.loop_max_size);
+        loop_mean_duration = favg (fun r -> r.loop_mean_duration);
+        loop_max_duration = favg (fun r -> r.loop_max_duration);
+        max_concurrent_loops = iavg (fun r -> r.max_concurrent_loops);
+        converged = List.for_all (fun r -> r.converged) runs;
+      }
+
+let header =
+  "conv_time\tloop_dur\tttl_exh\tpkts\tratio\tupdates\twithdrawals\tloops"
+
+let to_row t =
+  Printf.sprintf "%.2f\t%.2f\t%d\t%d\t%.3f\t%d\t%d\t%d" t.convergence_time
+    t.overall_looping_duration t.ttl_exhaustions t.packets_sent
+    t.looping_ratio t.updates_sent t.withdrawals_sent t.loop_count
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>convergence time:         %.2f s%s@,\
+     overall looping duration: %.2f s@,\
+     TTL exhaustions:          %d@,\
+     packets sent:             %d@,\
+     looping ratio:            %.3f@,\
+     delivered / unreachable:  %d / %d@,\
+     updates / withdrawals:    %d / %d@,\
+     route changes:            %d@,\
+     loops (count/max size):   %d / %d@,\
+     loop durations (mean/max): %.2f / %.2f s@,\
+     max concurrent loops:     %d@]"
+    t.convergence_time
+    (if t.converged then "" else " (NOT CONVERGED)")
+    t.overall_looping_duration t.ttl_exhaustions t.packets_sent
+    t.looping_ratio t.packets_delivered t.packets_unreachable t.updates_sent
+    t.withdrawals_sent t.route_changes t.loop_count t.loop_max_size
+    t.loop_mean_duration t.loop_max_duration t.max_concurrent_loops

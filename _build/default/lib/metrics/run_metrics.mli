@@ -1,0 +1,51 @@
+(** The paper's measurement suite for one simulated failure event
+    (§4.2), plus the per-loop aggregates of the extension analysis:
+
+    - {b convergence time}: failure to last BGP update sent;
+    - {b overall looping duration}: first to last TTL exhaustion;
+    - {b number of TTL exhaustions};
+    - {b looping ratio}: TTL exhaustions over packets sent during
+      convergence — "the probability that a packet sent during routing
+      convergence encounters looping". *)
+
+type t = {
+  convergence_time : float;
+  overall_looping_duration : float;
+  ttl_exhaustions : int;
+  packets_sent : int;  (** during convergence (the ratio denominator) *)
+  looping_ratio : float;
+  packets_delivered : int;
+  packets_unreachable : int;
+  updates_sent : int;  (** announcements at/after the failure *)
+  withdrawals_sent : int;
+  route_changes : int;
+  loop_count : int;
+  loop_mean_size : float;
+  loop_max_size : int;
+  loop_mean_duration : float;
+  loop_max_duration : float;
+  max_concurrent_loops : int;
+  converged : bool;
+}
+
+val make :
+  outcome:Bgp.Routing_sim.outcome ->
+  replay:Traffic.Replay.result ->
+  loops:Loopscan.Scanner.report ->
+  loops_until:float ->
+  t
+
+val zero : t
+(** All-zero metrics (identity for {!add}). *)
+
+val mean : t list -> t
+(** Field-wise mean over runs (integer fields rounded to nearest);
+    [converged] is the conjunction.  @raise Invalid_argument on []. *)
+
+val pp : Format.formatter -> t -> unit
+
+val header : string
+(** Column header matching {!to_row}. *)
+
+val to_row : t -> string
+(** Tab-separated row of the headline fields. *)

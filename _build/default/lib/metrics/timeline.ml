@@ -1,0 +1,92 @@
+let glyphs = [| ' '; '.'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let bucketize ~values ~from ~until ~width =
+  if until <= from then invalid_arg "Timeline.bucketize: empty window";
+  if width <= 0 then invalid_arg "Timeline.bucketize: width <= 0";
+  let bins = Array.make width 0. in
+  let span = until -. from in
+  List.iter
+    (fun (time, weight) ->
+      if time >= from && time < until then begin
+        let i = int_of_float ((time -. from) /. span *. float_of_int width) in
+        let i = Stdlib.min i (width - 1) in
+        bins.(i) <- bins.(i) +. weight
+      end)
+    values;
+  bins
+
+let sparkline ?(width = 60) series =
+  let n = Array.length series in
+  if n = 0 then ""
+  else begin
+    (* resample into [width] columns by summing *)
+    let cols =
+      if n = width then Array.copy series
+      else begin
+        let out = Array.make width 0. in
+        Array.iteri
+          (fun i v ->
+            let c = i * width / n in
+            out.(c) <- out.(c) +. v)
+          series;
+        out
+      end
+    in
+    let peak = Array.fold_left Float.max 0. cols in
+    String.init width (fun i ->
+        if peak <= 0. then ' '
+        else
+          let level =
+            int_of_float
+              (Float.round
+                 (cols.(i) /. peak *. float_of_int (Array.length glyphs - 1)))
+          in
+          glyphs.(Stdlib.max 0 (Stdlib.min level (Array.length glyphs - 1))))
+  end
+
+let loops_band ~loops ~from ~until ~width =
+  if until <= from then invalid_arg "Timeline.loops_band: empty window";
+  if width <= 0 then invalid_arg "Timeline.loops_band: width <= 0";
+  let span = until -. from in
+  String.init width (fun i ->
+      let bin_start = from +. (float_of_int i /. float_of_int width *. span) in
+      let bin_end = from +. (float_of_int (i + 1) /. float_of_int width *. span) in
+      let alive =
+        List.length
+          (List.filter
+             (fun (l : Loopscan.Scanner.loop) ->
+               let death = Option.value l.death ~default:infinity in
+               l.birth < bin_end && death > bin_start)
+             loops)
+      in
+      if alive = 0 then ' '
+      else if alive < 10 then Char.chr (Char.code '0' + alive)
+      else '+')
+
+let render_run ~fib ~loops ~exhaustion_times ~from ~until ?(width = 60) () =
+  let churn =
+    bucketize
+      ~values:
+        (List.map
+           (fun (c : Netcore.Fib_history.change) -> (c.time, 1.))
+           (Netcore.Fib_history.changes_from fib ~from))
+      ~from ~until ~width
+  in
+  let exhaustions =
+    bucketize
+      ~values:(Array.to_list (Array.map (fun t -> (t, 1.)) exhaustion_times))
+      ~from ~until ~width
+  in
+  let axis =
+    let mid = (from +. until) /. 2. in
+    Printf.sprintf "t=%-8.1f%*s%8s" from (width - 16)
+      (Printf.sprintf "%.1f" mid)
+      (Printf.sprintf "%.1f" until)
+  in
+  String.concat "\n"
+    [
+      "fib churn  |" ^ sparkline ~width churn ^ "|";
+      "live loops |" ^ loops_band ~loops:loops.Loopscan.Scanner.loops ~from ~until ~width ^ "|";
+      "ttl drops  |" ^ sparkline ~width exhaustions ^ "|";
+      "            " ^ axis;
+    ]

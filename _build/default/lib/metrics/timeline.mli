@@ -1,0 +1,36 @@
+(** Text timelines: compact terminal rendering of activity over a run
+    (FIB churn, active loops, TTL exhaustions), used by the examples to
+    show the MRAI-paced rounds of path exploration at a glance. *)
+
+val sparkline : ?width:int -> float array -> string
+(** Renders the series scaled into [' ' .- =+ *#@] glyphs, resampled to
+    [width] columns (default 60) by bucket-summing.  The empty array
+    renders as [""]. *)
+
+val bucketize :
+  values:(float * float) list -> from:float -> until:float -> width:int ->
+  float array
+(** Sums weighted events [(time, weight)] into [width] equal bins over
+    [\[from, until)]; events outside the window are dropped.
+    @raise Invalid_argument if [until <= from] or [width <= 0]. *)
+
+val loops_band :
+  loops:Loopscan.Scanner.loop list ->
+  from:float ->
+  until:float ->
+  width:int ->
+  string
+(** One character per bin: the count of loops alive in that bin rendered
+    as [' '], ['1'..'9'], ['+'] for ten or more. *)
+
+val render_run :
+  fib:Netcore.Fib_history.t ->
+  loops:Loopscan.Scanner.report ->
+  exhaustion_times:float array ->
+  from:float ->
+  until:float ->
+  ?width:int ->
+  unit ->
+  string
+(** Three aligned rows — FIB churn sparkline, live-loop band, exhaustion
+    sparkline — with a time axis line. *)

@@ -1,0 +1,1 @@
+lib/netcore/fib_history.mli:

@@ -1,0 +1,1 @@
+lib/netcore/link.ml: Dessim Printf

@@ -1,0 +1,1 @@
+lib/netcore/link.mli: Dessim

@@ -1,0 +1,1 @@
+lib/netcore/node_proc.mli: Dessim

@@ -1,0 +1,1 @@
+lib/netcore/params.ml: Format

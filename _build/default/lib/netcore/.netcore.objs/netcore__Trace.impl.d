@@ -1,0 +1,1 @@
+lib/netcore/trace.ml: Dessim Fib_history List Stdlib

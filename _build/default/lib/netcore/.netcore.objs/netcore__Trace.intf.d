@@ -1,0 +1,1 @@
+lib/netcore/trace.mli: Fib_history

@@ -1,0 +1,43 @@
+type t = {
+  a : int;
+  b : int;
+  delay : float;
+  mutable up : bool;
+  mutable epoch : int;
+}
+
+let create ~a ~b ~delay =
+  if delay <= 0. then invalid_arg "Link.create: delay <= 0";
+  if a = b then invalid_arg "Link.create: self-link";
+  { a; b; delay; up = true; epoch = 0 }
+
+let endpoints t = (t.a, t.b)
+
+let is_up t = t.up
+
+let fail t =
+  if t.up then begin
+    t.up <- false;
+    t.epoch <- t.epoch + 1
+  end
+
+let restore t =
+  if not t.up then begin
+    t.up <- true;
+    t.epoch <- t.epoch + 1
+  end
+
+let send t ~engine ~from ~deliver =
+  if from <> t.a && from <> t.b then
+    invalid_arg
+      (Printf.sprintf "Link.send: node %d is not an endpoint of (%d,%d)" from
+         t.a t.b);
+  if not t.up then false
+  else begin
+    let sent_epoch = t.epoch in
+    let (_ : Dessim.Engine.handle) =
+      Dessim.Engine.schedule_after engine ~delay:t.delay (fun () ->
+          if t.up && t.epoch = sent_epoch then deliver ())
+    in
+    true
+  end

@@ -1,0 +1,32 @@
+(** Point-to-point link between two adjacent nodes.
+
+    Models what the simulation needs from "BGP runs over TCP": reliable,
+    in-order, fixed-delay delivery while the link is up, and loss of
+    all in-flight messages when the link fails (the TCP session dies
+    with the link; queued updates never arrive).  In-flight loss is
+    implemented with an epoch counter: deliveries scheduled before a
+    failure carry a stale epoch and are discarded on arrival. *)
+
+type t
+
+val create : a:int -> b:int -> delay:float -> t
+(** @raise Invalid_argument if [delay <= 0.] or [a = b]. *)
+
+val endpoints : t -> int * int
+
+val is_up : t -> bool
+
+val fail : t -> unit
+(** Takes the link down and invalidates in-flight messages.  Idempotent. *)
+
+val restore : t -> unit
+(** Brings the link back up (a fresh epoch; messages sent while down
+    stay lost). *)
+
+val send :
+  t -> engine:Dessim.Engine.t -> from:int -> deliver:(unit -> unit) -> bool
+(** [send t ~engine ~from ~deliver] schedules [deliver] after the link
+    delay.  Returns [false] (and schedules nothing) when the link is
+    down at send time.  [deliver] is silently dropped if the link fails
+    before the message arrives.
+    @raise Invalid_argument if [from] is not an endpoint. *)

@@ -1,0 +1,21 @@
+type t = { mutable busy_until : float; mutable depth : int }
+
+let create () = { busy_until = neg_infinity; depth = 0 }
+
+let busy_until t = t.busy_until
+
+let queue_depth t = t.depth
+
+let submit t ~engine ~delay ~work =
+  if delay < 0. then invalid_arg "Node_proc.submit: negative delay";
+  let now = Dessim.Engine.now engine in
+  let start = Stdlib.max now t.busy_until in
+  let completion = start +. delay in
+  t.busy_until <- completion;
+  t.depth <- t.depth + 1;
+  let (_ : Dessim.Engine.handle) =
+    Dessim.Engine.schedule engine ~at:completion (fun () ->
+        t.depth <- t.depth - 1;
+        work ())
+  in
+  ()

@@ -1,0 +1,27 @@
+(** Per-node serial message processor.
+
+    A router processes one routing message at a time; each message
+    occupies the CPU for a random draw of the processing delay.  This
+    serialization is behaviourally significant: the paper's footnote 5
+    attributes Ghost Flushing's degradation on large cliques to real
+    path information queueing behind storms of flushing withdrawals. *)
+
+type t
+
+val create : unit -> t
+
+val busy_until : t -> float
+
+val queue_depth : t -> int
+(** Messages accepted but whose processing has not completed. *)
+
+val submit :
+  t ->
+  engine:Dessim.Engine.t ->
+  delay:float ->
+  work:(unit -> unit) ->
+  unit
+(** [submit t ~engine ~delay ~work] enqueues a message arriving now;
+    [work] (the protocol handler) runs when the CPU reaches it, i.e. at
+    [max now busy_until +. delay].
+    @raise Invalid_argument if [delay < 0.]. *)

@@ -1,0 +1,74 @@
+type msg_kind = Announce | Withdraw
+
+type send = { time : float; src : int; dst : int; kind : msg_kind }
+
+type link_event = { time : float; a : int; b : int; up : bool }
+
+type process = { time : float; node : int; from : int; kind : msg_kind }
+
+type t = {
+  fib : Fib_history.t;
+  sends : send Dessim.Vec.t;
+  links : link_event Dessim.Vec.t;
+  procs : process Dessim.Vec.t;
+}
+
+let create ~n =
+  {
+    fib = Fib_history.create ~n;
+    sends = Dessim.Vec.create ();
+    links = Dessim.Vec.create ();
+    procs = Dessim.Vec.create ();
+  }
+
+let fib t = t.fib
+
+let log_send t ~time ~src ~dst ~kind =
+  Dessim.Vec.push t.sends { time; src; dst; kind }
+
+let log_link_event t ~time ~a ~b ~up =
+  Dessim.Vec.push t.links { time; a; b; up }
+
+let sends t = Dessim.Vec.to_list t.sends
+
+let sends_from t ~from =
+  List.filter (fun (s : send) -> s.time >= from) (sends t)
+
+let send_count_from t ~from =
+  Dessim.Vec.fold_left
+    (fun acc (s : send) -> if s.time >= from then acc + 1 else acc)
+    0 t.sends
+
+let count_kind_from t ~from ~kind =
+  Dessim.Vec.fold_left
+    (fun acc (s : send) -> if s.time >= from && s.kind = kind then acc + 1 else acc)
+    0 t.sends
+
+let last_send_at_or_after t ~from =
+  Dessim.Vec.fold_left
+    (fun acc (s : send) ->
+      if s.time >= from then
+        match acc with
+        | None -> Some s.time
+        | Some best -> Some (Stdlib.max best s.time)
+      else acc)
+    None t.sends
+
+let link_events t = Dessim.Vec.to_list t.links
+
+let log_process t ~time ~node ~from ~kind =
+  Dessim.Vec.push t.procs { time; node; from; kind }
+
+let processes t = Dessim.Vec.to_list t.procs
+
+let last_process_at t ~node ~at_or_before =
+  Dessim.Vec.fold_left
+    (fun acc (p : process) ->
+      if p.node = node && p.time <= at_or_before then
+        match acc with
+        (* among equal times keep the later log entry: it is the one
+           whose processing completed last *)
+        | Some (best : process) when best.time > p.time -> acc
+        | Some _ | None -> Some p
+      else acc)
+    None t.procs

@@ -1,0 +1,79 @@
+let sum xs =
+  (* Kahan compensated summation: experiment sweeps add many samples of
+     very different magnitudes (seconds vs. counts in the thousands). *)
+  let total = ref 0. and comp = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "Descriptive.mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n <= 1 then 0.
+  else
+    let m = mean xs in
+    let devs = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+    sum devs /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  check_nonempty "Descriptive.min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "Descriptive.max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let percentile p xs =
+  check_nonempty "Descriptive.percentile" xs;
+  if p < 0. || p > 100. then
+    invalid_arg "Descriptive.percentile: p outside [0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile 50. xs
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize xs =
+  check_nonempty "Descriptive.summarize" xs;
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = min xs;
+    max = max xs;
+    median = median xs;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g"
+    s.n s.mean s.stddev s.min s.median s.max

@@ -1,0 +1,48 @@
+(** Descriptive statistics over float samples.
+
+    All functions operating on arrays treat the array as an unordered
+    sample.  Functions that require a non-empty sample raise
+    [Invalid_argument] on an empty input; this is stated per function. *)
+
+val sum : float array -> float
+(** Compensated (Kahan) summation; [0.] on the empty array. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty sample. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n - 1]); [0.] for samples of
+    size [<= 1]. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min : float array -> float
+(** Smallest sample.  @raise Invalid_argument on an empty sample. *)
+
+val max : float array -> float
+(** Largest sample.  @raise Invalid_argument on an empty sample. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] is the [p]-th percentile ([0. <= p <= 100.]) using
+    linear interpolation between closest ranks.  Copies and sorts the
+    input.  @raise Invalid_argument on an empty sample or [p] outside
+    [0., 100.]. *)
+
+val median : float array -> float
+(** [median xs = percentile 50. xs]. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+(** A five-number-style summary of a sample. *)
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty sample. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,33 @@
+type t = { slope : float; intercept : float; r2 : float }
+
+let fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Linear_fit.fit: need at least two points";
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+  let sxx = ref 0. and sxy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sxx := !sxx +. ((x -. mx) *. (x -. mx));
+      sxy := !sxy +. ((x -. mx) *. (y -. my)))
+    points;
+  if !sxx = 0. then invalid_arg "Linear_fit.fit: all x values coincide";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_tot = ref 0. and ss_res = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let fitted = (slope *. x) +. intercept in
+      ss_tot := !ss_tot +. ((y -. my) *. (y -. my));
+      ss_res := !ss_res +. ((y -. fitted) *. (y -. fitted)))
+    points;
+  let r2 =
+    if !ss_tot = 0. then if !ss_res = 0. then 1. else 0.
+    else 1. -. (!ss_res /. !ss_tot)
+  in
+  { slope; intercept; r2 }
+
+let predict t x = (t.slope *. x) +. t.intercept
+
+let pp fmt t =
+  Format.fprintf fmt "y = %.4g x + %.4g (R^2 = %.4f)" t.slope t.intercept t.r2

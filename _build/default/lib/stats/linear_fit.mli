@@ -1,0 +1,22 @@
+(** Ordinary least-squares fit of [y = slope * x + intercept].
+
+    Used to check the paper's "linearly proportional" observations
+    (Observations 1 and 2): convergence time, overall looping duration
+    and TTL-exhaustion counts as functions of the MRAI value. *)
+
+type t = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination in [0, 1] *)
+}
+
+val fit : (float * float) array -> t
+(** [fit points] computes the least-squares line through [points].
+    When all [y] are identical, [r2] is [1.] if the fit is exact and
+    [0.] otherwise (degenerate total variance).
+    @raise Invalid_argument with fewer than two points or when all [x]
+    coincide. *)
+
+val predict : t -> float -> float
+
+val pp : Format.formatter -> t -> unit

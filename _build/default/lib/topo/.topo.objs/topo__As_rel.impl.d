@@ -1,0 +1,1 @@
+lib/topo/as_rel.ml: Array Graph Hashtbl List Printf Stdlib String

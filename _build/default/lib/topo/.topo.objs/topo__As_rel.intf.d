@@ -1,0 +1,1 @@
+lib/topo/as_rel.mli: Graph

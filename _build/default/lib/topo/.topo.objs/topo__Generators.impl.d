@@ -1,0 +1,1 @@
+lib/topo/generators.ml: Graph List

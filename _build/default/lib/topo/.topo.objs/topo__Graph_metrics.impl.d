@@ -1,0 +1,1 @@
+lib/topo/graph_metrics.ml: Array Format Graph Hashtbl List Option Stdlib

@@ -1,0 +1,1 @@
+lib/topo/graph_metrics.mli: Format Graph

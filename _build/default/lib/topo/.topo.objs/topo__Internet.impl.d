@@ -1,0 +1,1 @@
+lib/topo/internet.ml: Array Dessim Float Fun Graph List Stats Stdlib

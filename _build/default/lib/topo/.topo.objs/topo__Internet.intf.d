@@ -1,0 +1,1 @@
+lib/topo/internet.mli: Graph Stats

@@ -1,0 +1,1 @@
+lib/topo/random_graphs.ml: Array Dessim Float Graph List Queue Stdlib

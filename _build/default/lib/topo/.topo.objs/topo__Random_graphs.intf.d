@@ -1,0 +1,1 @@
+lib/topo/random_graphs.mli: Graph

@@ -1,0 +1,104 @@
+type rel = P2c | Peer
+
+type t = {
+  graph : Graph.t;
+  asn_of_node : int array;
+  node_of_asn : (int, int) Hashtbl.t;
+  (* keyed by (min node, max node); [P2c] means the smaller-id node is
+     the provider when [provider_first] is true *)
+  rels : (int * int, rel * bool) Hashtbl.t;
+}
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let entries =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then None
+        else
+          match String.split_on_char '|' line with
+          | [ a; b; r ] -> (
+              match (int_of_string_opt a, int_of_string_opt b, r) with
+              | Some a, Some b, "-1" -> Some (a, b, P2c)
+              | Some a, Some b, "0" -> Some (a, b, Peer)
+              | _ ->
+                  invalid_arg
+                    (Printf.sprintf "As_rel.parse: bad line %S" line))
+          | _ -> invalid_arg (Printf.sprintf "As_rel.parse: bad line %S" line))
+      lines
+  in
+  if entries = [] then invalid_arg "As_rel.parse: no relationships";
+  let node_of_asn = Hashtbl.create 64 in
+  let next = ref 0 in
+  let intern asn =
+    match Hashtbl.find_opt node_of_asn asn with
+    | Some v -> v
+    | None ->
+        let v = !next in
+        incr next;
+        Hashtbl.add node_of_asn asn v;
+        v
+  in
+  let rels = Hashtbl.create 64 in
+  let edges =
+    List.map
+      (fun (a_asn, b_asn, rel) ->
+        if a_asn = b_asn then
+          invalid_arg
+            (Printf.sprintf "As_rel.parse: self-relationship of AS %d" a_asn);
+        let a = intern a_asn and b = intern b_asn in
+        let key = if a < b then (a, b) else (b, a) in
+        if Hashtbl.mem rels key then
+          invalid_arg
+            (Printf.sprintf "As_rel.parse: duplicate pair %d|%d" a_asn b_asn);
+        (* for P2c the file lists the provider first *)
+        Hashtbl.add rels key (rel, a < b);
+        (a, b))
+      entries
+  in
+  let graph = Graph.create ~n:!next ~edges in
+  let asn_of_node = Array.make !next 0 in
+  Hashtbl.iter (fun asn node -> asn_of_node.(node) <- asn) node_of_asn;
+  { graph; asn_of_node; node_of_asn; rels }
+
+let graph t = t.graph
+
+let node_of_asn t asn = Hashtbl.find_opt t.node_of_asn asn
+
+let asn_of_node t node =
+  if node < 0 || node >= Array.length t.asn_of_node then
+    invalid_arg "As_rel.asn_of_node: node out of range";
+  t.asn_of_node.(node)
+
+let relationship t a b =
+  let key = if a < b then (a, b) else (b, a) in
+  match Hashtbl.find_opt t.rels key with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "As_rel.relationship: nodes %d and %d not adjacent" a b)
+  | Some (Peer, _) -> `Peer
+  | Some (P2c, provider_first) ->
+      (* [b]'s role from [a]'s viewpoint *)
+      let provider = if provider_first then Stdlib.min a b else Stdlib.max a b in
+      if b = provider then `Provider else `Customer
+
+let to_string t =
+  let lines =
+    Hashtbl.fold
+      (fun (a, b) (rel, provider_first) acc ->
+        let line =
+          match rel with
+          | Peer ->
+              Printf.sprintf "%d|%d|0" t.asn_of_node.(a) t.asn_of_node.(b)
+          | P2c ->
+              let provider, customer =
+                if provider_first then (a, b) else (b, a)
+              in
+              Printf.sprintf "%d|%d|-1" t.asn_of_node.(provider)
+                t.asn_of_node.(customer)
+        in
+        line :: acc)
+      t.rels []
+  in
+  String.concat "\n" (List.sort compare lines) ^ "\n"

@@ -1,0 +1,39 @@
+(** CAIDA-style AS relationship files.
+
+    The serial-1 format is one relationship per line:
+
+    {v
+    # comments start with '#'
+    <provider-as>|<customer-as>|-1
+    <peer-as>|<peer-as>|0
+    v}
+
+    Loading remaps the (arbitrary) AS numbers to contiguous node ids
+    [0..n-1] and returns, along with the graph, the relationship
+    oracle in the form {!Bgp.Policy.gao_rexford} expects — so a real
+    AS-relationship snapshot can drive policy-routing experiments
+    directly. *)
+
+type t
+
+val parse : string -> t
+(** @raise Invalid_argument on malformed lines, self-relationships, or
+    duplicate AS pairs. *)
+
+val graph : t -> Graph.t
+
+val node_of_asn : t -> int -> int option
+(** Node id of an AS number. *)
+
+val asn_of_node : t -> int -> int
+(** Original AS number of a node id.
+    @raise Invalid_argument on an out-of-range node. *)
+
+val relationship : t -> int -> int -> [ `Customer | `Peer | `Provider ]
+(** [relationship t a b] is [b]'s role from node [a]'s point of view
+    (node ids, not AS numbers).
+    @raise Invalid_argument if [a] and [b] are not adjacent. *)
+
+val to_string : t -> string
+(** Serializes back to the serial-1 format (with original AS numbers),
+    one line per edge, sorted. *)

@@ -1,0 +1,85 @@
+let require cond msg = if not cond then invalid_arg msg
+
+let clique n =
+  require (n >= 1) "Generators.clique: n >= 1 required";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let chain n =
+  require (n >= 1) "Generators.chain: n >= 1 required";
+  Graph.create ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  require (n >= 3) "Generators.ring: n >= 3 required";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  Graph.create ~n ~edges:((0, n - 1) :: edges)
+
+let star n =
+  require (n >= 2) "Generators.star: n >= 2 required";
+  Graph.create ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let b_clique n =
+  require (n >= 2) "Generators.b_clique: n >= 2 required";
+  let edges = ref [] in
+  (* chain over 0 .. n-1 *)
+  for i = 0 to n - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  (* clique over n .. 2n-1 *)
+  for u = n to (2 * n) - 1 do
+    for v = u + 1 to (2 * n) - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  (* the destination's direct link into the core, and the chain's
+     attachment to the far side of the core *)
+  edges := (0, n) :: (n - 1, (2 * n) - 1) :: !edges;
+  Graph.create ~n:(2 * n) ~edges:!edges
+
+let balanced_tree ~depth ~fanout =
+  require (depth >= 0) "Generators.balanced_tree: depth >= 0 required";
+  require (fanout >= 1) "Generators.balanced_tree: fanout >= 1 required";
+  let edges = ref [] in
+  let next = ref 1 in
+  let rec expand parent level =
+    if level < depth then
+      for _ = 1 to fanout do
+        let child = !next in
+        incr next;
+        edges := (parent, child) :: !edges;
+        expand child (level + 1)
+      done
+  in
+  expand 0 0;
+  Graph.create ~n:!next ~edges:!edges
+
+let grid ~rows ~cols =
+  require (rows >= 1 && cols >= 1) "Generators.grid: rows, cols >= 1 required";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) ~edges:!edges
+
+let barbell n =
+  require (n >= 2) "Generators.barbell: n >= 2 required";
+  let edges = ref [ (n - 1, n) ] in
+  let add_clique base =
+    for u = base to base + n - 1 do
+      for v = u + 1 to base + n - 1 do
+        edges := (u, v) :: !edges
+      done
+    done
+  in
+  add_clique 0;
+  add_clique n;
+  Graph.create ~n:(2 * n) ~edges:!edges

@@ -1,0 +1,43 @@
+(** Deterministic topology generators.
+
+    These are the synthetic shapes used throughout the paper's
+    evaluation and in the BGP convergence literature it builds on
+    (Labovitz et al., Griffin & Premore, Bremler-Barr et al.):
+
+    - {!clique}: the full mesh used for [T_down] experiments (Fig. 3a);
+    - {!b_clique}: the "backup clique" of the paper's Fig. 3b — a size-n
+      clique core with a size-n chain giving the destination a long
+      backup path — used for [T_long] experiments;
+    - the rest are standard shapes used by the test suite and examples.
+
+    All generators raise [Invalid_argument] on sizes that cannot form
+    the shape. *)
+
+val clique : int -> Graph.t
+(** Full mesh on [n >= 1] nodes. *)
+
+val chain : int -> Graph.t
+(** Path [0 - 1 - ... - n-1], [n >= 1]. *)
+
+val ring : int -> Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val star : int -> Graph.t
+(** Node [0] is the hub; [n >= 2]. *)
+
+val b_clique : int -> Graph.t
+(** [b_clique n] has [2n] nodes ([n >= 2]): nodes [0 .. n-1] form a
+    chain, nodes [n .. 2n-1] form a clique, node [0] connects to node
+    [n], and node [n-1] connects to node [2n-1].  The destination AS of
+    the paper's [T_long] scenario is node [0]; failing link [(0, n)]
+    forces traffic onto the chain. *)
+
+val balanced_tree : depth:int -> fanout:int -> Graph.t
+(** Rooted at node [0]; [depth >= 0], [fanout >= 1]. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** [rows * cols] nodes in row-major order; [rows, cols >= 1]. *)
+
+val barbell : int -> Graph.t
+(** Two [n]-cliques ([n >= 2]) joined by a single edge between node
+    [n-1] and node [n]; [2n] nodes total. *)

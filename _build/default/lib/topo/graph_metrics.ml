@@ -1,0 +1,83 @@
+type t = {
+  n : int;
+  m : int;
+  diameter : int;
+  mean_path_length : float;
+  mean_degree : float;
+  max_degree : int;
+  min_degree : int;
+  degree_histogram : (int * int) list;
+  clustering : float;
+}
+
+let compute g =
+  let n = Graph.n_nodes g in
+  if n = 0 then invalid_arg "Graph_metrics.compute: empty graph";
+  if not (Graph.is_connected g) then
+    invalid_arg "Graph_metrics.compute: disconnected graph";
+  let diameter = ref 0 in
+  let path_sum = ref 0 and path_pairs = ref 0 in
+  List.iter
+    (fun v ->
+      let dist = Graph.bfs_distances g ~from:v in
+      Array.iter
+        (fun d ->
+          if d > 0 && d < max_int then begin
+            diameter := Stdlib.max !diameter d;
+            path_sum := !path_sum + d;
+            incr path_pairs
+          end)
+        dist)
+    (Graph.nodes g);
+  let degrees = List.map (Graph.degree g) (Graph.nodes g) in
+  let histogram =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun d ->
+        Hashtbl.replace tbl d (1 + Option.value (Hashtbl.find_opt tbl d) ~default:0))
+      degrees;
+    Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+  in
+  (* local clustering: fraction of a node's neighbor pairs that are
+     themselves adjacent *)
+  let local_clustering v =
+    let nbrs = Graph.neighbors g v in
+    let k = List.length nbrs in
+    if k < 2 then 0.
+    else begin
+      let links = ref 0 in
+      let rec pairs = function
+        | [] -> ()
+        | u :: rest ->
+            List.iter (fun w -> if Graph.has_edge g u w then incr links) rest;
+            pairs rest
+      in
+      pairs nbrs;
+      2. *. float_of_int !links /. float_of_int (k * (k - 1))
+    end
+  in
+  let clustering =
+    List.fold_left (fun acc v -> acc +. local_clustering v) 0. (Graph.nodes g)
+    /. float_of_int n
+  in
+  {
+    n;
+    m = Graph.n_edges g;
+    diameter = !diameter;
+    mean_path_length =
+      (if !path_pairs = 0 then 0.
+       else float_of_int !path_sum /. float_of_int !path_pairs);
+    mean_degree =
+      float_of_int (List.fold_left ( + ) 0 degrees) /. float_of_int n;
+    max_degree = List.fold_left Stdlib.max 0 degrees;
+    min_degree = List.fold_left Stdlib.min max_int degrees;
+    degree_histogram = histogram;
+    clustering;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d m=%d diameter=%d mean_path=%.2f degree(min/mean/max)=%d/%.2f/%d \
+     clustering=%.3f"
+    t.n t.m t.diameter t.mean_path_length t.min_degree t.mean_degree
+    t.max_degree t.clustering

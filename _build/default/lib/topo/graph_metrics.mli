@@ -1,0 +1,31 @@
+(** Structural metrics of topologies.
+
+    Used to document the Internet-generator substitution (DESIGN.md §4,
+    EXPERIMENTS.md "Substitution fidelity"): the studied BGP behaviour
+    depends on path lengths through the graph and on the degree
+    structure, so the generator is characterized by exactly those. *)
+
+type t = {
+  n : int;
+  m : int;
+  diameter : int;  (** longest shortest path; 0 for a single node *)
+  mean_path_length : float;
+      (** average hop distance over ordered reachable pairs; [0.] when
+          no such pair exists *)
+  mean_degree : float;
+  max_degree : int;
+  min_degree : int;
+  degree_histogram : (int * int) list;
+      (** (degree, node count), ascending, empty degrees omitted *)
+  clustering : float;
+      (** mean local clustering coefficient (nodes of degree < 2
+          contribute 0) *)
+}
+
+val compute : Graph.t -> t
+(** Exhaustive BFS from every node: O(n·(n+m)).  Intended for the
+    experiment-scale graphs of this study.
+    @raise Invalid_argument on the empty graph or a disconnected one
+    (the simulator requires connected topologies anyway). *)
+
+val pp : Format.formatter -> t -> unit

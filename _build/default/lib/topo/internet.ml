@@ -1,0 +1,137 @@
+type params = {
+  n : int;
+  dual_home_fraction : float;
+  uniform_attach_fraction : float;
+  core_fraction : float;
+  core_extra_edges : int;
+}
+
+let default_params ~n =
+  {
+    n;
+    dual_home_fraction = 0.45;
+    uniform_attach_fraction = 0.4;
+    core_fraction = 0.1;
+    core_extra_edges = n / 10;
+  }
+
+let validate p =
+  if p.n < 3 then invalid_arg "Internet.generate: n >= 3 required";
+  if p.dual_home_fraction < 0. || p.dual_home_fraction > 1. then
+    invalid_arg "Internet.generate: dual_home_fraction outside [0, 1]";
+  if p.uniform_attach_fraction < 0. || p.uniform_attach_fraction > 1. then
+    invalid_arg "Internet.generate: uniform_attach_fraction outside [0, 1]";
+  if p.core_fraction <= 0. || p.core_fraction > 1. then
+    invalid_arg "Internet.generate: core_fraction outside (0, 1]";
+  if p.core_extra_edges < 0 then
+    invalid_arg "Internet.generate: negative core_extra_edges"
+
+(* Pick an existing node with probability proportional to its degree,
+   excluding nodes already in [excluded]. *)
+let preferential_pick rng degrees ~upto ~excluded =
+  let total = ref 0 in
+  for v = 0 to upto - 1 do
+    if not (List.mem v excluded) then total := !total + degrees.(v)
+  done;
+  if !total = 0 then None
+  else begin
+    let target = Dessim.Rng.int rng !total in
+    let acc = ref 0 and found = ref (-1) in
+    let v = ref 0 in
+    while !found < 0 && !v < upto do
+      if not (List.mem !v excluded) then begin
+        acc := !acc + degrees.(!v);
+        if !acc > target then found := !v
+      end;
+      incr v
+    done;
+    if !found < 0 then None else Some !found
+  end
+
+let generate ?params ~seed n =
+  let p = match params with None -> default_params ~n | Some p -> p in
+  if p.n <> n then invalid_arg "Internet.generate: params.n <> n";
+  validate p;
+  let rng = Dessim.Rng.create ~seed in
+  let degrees = Array.make n 0 in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    degrees.(u) <- degrees.(u) + 1;
+    degrees.(v) <- degrees.(v) + 1
+  in
+  (* seed triangle: the embryonic core *)
+  add_edge 0 1;
+  add_edge 1 2;
+  add_edge 0 2;
+  (* Growth: each joining AS attaches to one or two providers.  A
+     preferential pick grows the high-degree transit core; a uniform
+     pick hangs the new AS off an arbitrary existing one, producing the
+     low-degree tendrils of real AS graphs — the regional chains that
+     make failover paths several hops longer than the failed primary,
+     which in turn drives the multi-round path exploration behind
+     T_long transients. *)
+  let pick_provider ~upto ~excluded =
+    let uniform () =
+      let rec draw tries =
+        if tries = 0 then None
+        else
+          let u = Dessim.Rng.int rng upto in
+          if List.mem u excluded then draw (tries - 1) else Some u
+      in
+      draw 16
+    in
+    if Dessim.Rng.float rng 1.0 < p.uniform_attach_fraction then
+      match uniform () with
+      | Some u -> Some u
+      | None -> preferential_pick rng degrees ~upto ~excluded
+    else preferential_pick rng degrees ~upto ~excluded
+  in
+  for v = 3 to n - 1 do
+    let first =
+      match pick_provider ~upto:v ~excluded:[] with
+      | Some u -> u
+      | None -> assert false (* seed triangle guarantees a candidate *)
+    in
+    add_edge v first;
+    if Dessim.Rng.float rng 1.0 < p.dual_home_fraction then
+      match pick_provider ~upto:v ~excluded:[ first; v ] with
+      | Some second -> add_edge v second
+      | None -> ()
+  done;
+  (* extra peering edges meshed among the highest-degree (core) nodes *)
+  let core_size =
+    Stdlib.max 3 (int_of_float (Float.round (p.core_fraction *. float_of_int n)))
+  in
+  let by_degree = Array.init n Fun.id in
+  Array.sort (fun a b -> compare degrees.(b) degrees.(a)) by_degree;
+  let core = Array.sub by_degree 0 (Stdlib.min core_size n) in
+  let has u v =
+    List.exists
+      (fun (a, b) -> (a = u && b = v) || (a = v && b = u))
+      !edges
+  in
+  let added = ref 0 and attempts = ref 0 in
+  let max_attempts = 50 * (p.core_extra_edges + 1) in
+  while !added < p.core_extra_edges && !attempts < max_attempts do
+    incr attempts;
+    let i = Dessim.Rng.int rng (Array.length core) in
+    let j = Dessim.Rng.int rng (Array.length core) in
+    let u = core.(i) and v = core.(j) in
+    if u <> v && not (has u v) then begin
+      add_edge u v;
+      incr added
+    end
+  done;
+  let g = Graph.create ~n ~edges:!edges in
+  assert (Graph.is_connected g);
+  g
+
+let stub_nodes = Graph.min_degree_nodes
+
+let degree_stats g =
+  let ds =
+    Array.of_list
+      (List.map (fun v -> float_of_int (Graph.degree g v)) (Graph.nodes g))
+  in
+  Stats.Descriptive.summarize ds

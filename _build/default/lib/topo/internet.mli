@@ -1,0 +1,48 @@
+(** Internet-like AS-level topology generator.
+
+    The paper evaluates on 29/48/75/110-node AS graphs derived from
+    actual BGP routing tables (Premore's gallery at ssfnet.org, now
+    unavailable).  This module is the documented substitution (see
+    DESIGN.md §4): a seeded generator reproducing the topological
+    properties those graphs contribute to the studied behaviour —
+    a heavy-tailed degree distribution, a densely-meshed core of
+    high-degree transit ASes, and many low-degree stub ASes hanging off
+    the core.
+
+    Construction: nodes join one at a time and attach to 1 or 2
+    existing nodes — mostly by preferential attachment (probability
+    proportional to current degree, growing the transit core), partly
+    uniformly at random (growing the low-degree tendrils that give real
+    AS graphs their depth) — seeding from a small initial triangle;
+    afterwards, extra peering edges are meshed between the
+    highest-degree nodes.  The result is always connected. *)
+
+type params = {
+  n : int;  (** number of ASes, [>= 3] *)
+  dual_home_fraction : float;
+      (** fraction of joining nodes attaching with two links rather than
+          one, in [0, 1]; default 0.45 *)
+  uniform_attach_fraction : float;
+      (** probability an attachment ignores degree and picks uniformly,
+          in [0, 1]; default 0.4 *)
+  core_fraction : float;
+      (** top-degree fraction of nodes treated as the core; default 0.1 *)
+  core_extra_edges : int;
+      (** extra peering edges meshed into the core; default [n / 10] *)
+}
+
+val default_params : n:int -> params
+
+val generate : ?params:params -> seed:int -> int -> Graph.t
+(** [generate ~seed n] builds a connected AS-like graph on [n] nodes.
+    [params] overrides the defaults (its [n] field must equal [n]).
+    @raise Invalid_argument on [n < 3] or inconsistent params. *)
+
+val stub_nodes : Graph.t -> int list
+(** Nodes of minimal degree — candidate destination ASes, matching the
+    paper's "destination AS was randomly chosen among the nodes with
+    the lowest degrees". *)
+
+val degree_stats : Graph.t -> Stats.Descriptive.summary
+(** Degree distribution summary, reported in EXPERIMENTS.md to document
+    the substitution. *)

@@ -1,0 +1,101 @@
+(* Connect a possibly-disconnected simple graph by adding one edge
+   between successive components (component representative to
+   representative), preserving all existing edges. *)
+let connect ~n edges =
+  let g = Graph.create ~n ~edges in
+  if Graph.is_connected g then g
+  else begin
+    let component = Array.make n (-1) in
+    let mark v c =
+      let q = Queue.create () in
+      Queue.add v q;
+      component.(v) <- c;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun w ->
+            if component.(w) < 0 then begin
+              component.(w) <- c;
+              Queue.add w q
+            end)
+          (Graph.neighbors g u)
+      done
+    in
+    let reps = ref [] in
+    for v = 0 to n - 1 do
+      if component.(v) < 0 then begin
+        mark v v;
+        reps := v :: !reps
+      end
+    done;
+    let rec bridges acc = function
+      | a :: (b :: _ as rest) -> bridges ((a, b) :: acc) rest
+      | [ _ ] | [] -> acc
+    in
+    Graph.create ~n ~edges:(bridges edges !reps)
+  end
+
+let waxman ?(alpha = 0.4) ?(beta = 0.2) ~seed n =
+  if n < 2 then invalid_arg "Random_graphs.waxman: n >= 2 required";
+  if alpha <= 0. || alpha > 1. then
+    invalid_arg "Random_graphs.waxman: alpha outside (0, 1]";
+  if beta <= 0. || beta > 1. then
+    invalid_arg "Random_graphs.waxman: beta outside (0, 1]";
+  let rng = Dessim.Rng.create ~seed in
+  let xs = Array.init n (fun _ -> Dessim.Rng.float rng 1.) in
+  let ys = Array.init n (fun _ -> Dessim.Rng.float rng 1.) in
+  let diag = Float.sqrt 2. in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      let d = Float.sqrt ((dx *. dx) +. (dy *. dy)) in
+      let p = alpha *. Float.exp (-.d /. (beta *. diag)) in
+      if Dessim.Rng.float rng 1. < p then edges := (u, v) :: !edges
+    done
+  done;
+  connect ~n !edges
+
+let glp ?(m = 1) ?(beta = 0.5) ~seed n =
+  if n < 2 then invalid_arg "Random_graphs.glp: n >= 2 required";
+  if m < 1 then invalid_arg "Random_graphs.glp: m >= 1 required";
+  if beta >= 1. then invalid_arg "Random_graphs.glp: beta < 1 required";
+  let rng = Dessim.Rng.create ~seed in
+  let degrees = Array.make n 0. in
+  let edges = ref [ (0, 1) ] in
+  degrees.(0) <- 1.;
+  degrees.(1) <- 1.;
+  let weight v = degrees.(v) -. beta in
+  (* draw an existing node (index < upto) by linear preference,
+     excluding [excluded] *)
+  let draw ~upto ~excluded =
+    let total = ref 0. in
+    for v = 0 to upto - 1 do
+      if not (List.mem v excluded) then total := !total +. weight v
+    done;
+    if !total <= 0. then None
+    else begin
+      let target = Dessim.Rng.float rng !total in
+      let acc = ref 0. and found = ref None in
+      for v = 0 to upto - 1 do
+        if !found = None && not (List.mem v excluded) then begin
+          acc := !acc +. weight v;
+          if !acc > target then found := Some v
+        end
+      done;
+      !found
+    end
+  in
+  for v = 2 to n - 1 do
+    let chosen = ref [] in
+    for _ = 1 to Stdlib.min m v do
+      match draw ~upto:v ~excluded:!chosen with
+      | Some u ->
+          chosen := u :: !chosen;
+          edges := (u, v) :: !edges;
+          degrees.(u) <- degrees.(u) +. 1.;
+          degrees.(v) <- degrees.(v) +. 1.
+      | None -> ()
+    done
+  done;
+  connect ~n !edges

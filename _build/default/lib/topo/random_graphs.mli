@@ -1,0 +1,31 @@
+(** Random topology generators from the networking literature, beyond
+    the {!Internet} AS-graph model: Waxman's geometric random graphs
+    and the Generalized Linear Preference (GLP) model of Bu & Towsley.
+
+    The paper's footnote 1 remarks that degree-based generators are not
+    suitable at the small sizes SSFNET could handle; having these
+    models available lets users probe exactly that sensitivity (how the
+    reproduction's trends vary with topology provenance).
+
+    All generators are deterministic in the seed and always return
+    connected graphs (a minimal number of shortest bridging edges is
+    added between components when the raw draw is disconnected; this
+    mildly biases very sparse parameter choices toward trees). *)
+
+val waxman :
+  ?alpha:float -> ?beta:float -> seed:int -> int -> Graph.t
+(** [waxman ~seed n] places [n >= 2] nodes uniformly in the unit square
+    and connects each pair with probability
+    [alpha * exp (-d / (beta * sqrt 2.))] where [d] is their Euclidean
+    distance.  Defaults: [alpha = 0.4], [beta = 0.2].
+    @raise Invalid_argument if [n < 2], or [alpha]/[beta] outside
+    (0, 1]. *)
+
+val glp :
+  ?m:int -> ?beta:float -> seed:int -> int -> Graph.t
+(** [glp ~seed n] grows a graph by Generalized Linear Preference:
+    each arriving node attaches [m] edges to existing nodes chosen with
+    probability proportional to [degree - beta]; [beta < 1] tunes how
+    heavy the tail is (negative values flatten it).  Defaults: [m = 1],
+    [beta = 0.5].
+    @raise Invalid_argument if [n < 2], [m < 1], or [beta >= 1.]. *)

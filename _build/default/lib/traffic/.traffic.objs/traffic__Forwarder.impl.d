@@ -1,0 +1,1 @@
+lib/traffic/forwarder.ml: Format Netcore

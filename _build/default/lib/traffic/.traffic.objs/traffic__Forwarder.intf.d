@@ -1,0 +1,1 @@
+lib/traffic/forwarder.mli: Format Netcore

@@ -1,0 +1,1 @@
+lib/traffic/per_source.ml: Dessim Forwarder Fun List

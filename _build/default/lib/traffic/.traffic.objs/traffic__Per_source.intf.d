@@ -1,0 +1,1 @@
+lib/traffic/per_source.mli: Netcore

@@ -1,0 +1,1 @@
+lib/traffic/replay.ml: Array Dessim Forwarder Fun List Option

@@ -1,0 +1,31 @@
+type fate =
+  | Delivered of { time : float; hops : int }
+  | Ttl_exhausted of { time : float; at_node : int }
+  | Unreachable of { time : float; at_node : int }
+
+let fate_time = function
+  | Delivered { time; _ } | Ttl_exhausted { time; _ } | Unreachable { time; _ }
+    ->
+      time
+
+let pp_fate fmt = function
+  | Delivered { time; hops } ->
+      Format.fprintf fmt "delivered at %g after %d hops" time hops
+  | Ttl_exhausted { time; at_node } ->
+      Format.fprintf fmt "TTL exhausted at node %d, time %g" at_node time
+  | Unreachable { time; at_node } ->
+      Format.fprintf fmt "unreachable at node %d, time %g" at_node time
+
+let walk ~fib ~origin ~link_delay ~ttl ~src ~send_time =
+  if ttl <= 0 then invalid_arg "Forwarder.walk: ttl <= 0";
+  if link_delay <= 0. then invalid_arg "Forwarder.walk: link_delay <= 0";
+  let rec step node time ttl_left hops =
+    if node = origin then Delivered { time; hops }
+    else if ttl_left = 0 then Ttl_exhausted { time; at_node = node }
+    else
+      match Netcore.Fib_history.lookup fib ~node ~time with
+      | None -> Unreachable { time; at_node = node }
+      | Some next ->
+          step next (time +. link_delay) (ttl_left - 1) (hops + 1)
+  in
+  step src send_time ttl 0

@@ -1,0 +1,30 @@
+(** Hop-by-hop packet forwarding against a FIB history.
+
+    A packet at node [v] at time [t] is forwarded to [v]'s next hop as
+    of [t] (the FIB between two change instants is constant, so this is
+    exactly what a co-simulated packet would see); each hop takes one
+    link delay and decrements the TTL by one — one TTL unit per AS, as
+    in the paper's simulations. *)
+
+type fate =
+  | Delivered of { time : float; hops : int }
+  | Ttl_exhausted of { time : float; at_node : int }
+      (** the paper's loop indicator *)
+  | Unreachable of { time : float; at_node : int }
+      (** dropped at a node with no route *)
+
+val fate_time : fate -> float
+
+val pp_fate : Format.formatter -> fate -> unit
+
+val walk :
+  fib:Netcore.Fib_history.t ->
+  origin:int ->
+  link_delay:float ->
+  ttl:int ->
+  src:int ->
+  send_time:float ->
+  fate
+(** [walk ~fib ~origin ~link_delay ~ttl ~src ~send_time] traces one
+    packet from [src] to the destination attached to [origin].
+    @raise Invalid_argument if [ttl <= 0] or [link_delay <= 0.]. *)

@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Bgp Config Dessim Enhancement Format Gen List Netcore QCheck QCheck_alcotest Topo

@@ -1,0 +1,1 @@
+test/test_damping.ml: Alcotest Bgp Dessim Float QCheck QCheck_alcotest Queue Topo

@@ -1,0 +1,1 @@
+test/test_dessim.ml: Alcotest Array Dessim Float Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Bgp Bgpsim Experiment Fun List Metrics Report Stdlib String Sweep Topo

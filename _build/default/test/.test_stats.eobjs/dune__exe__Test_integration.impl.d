@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bgp Bgpsim Experiment Float Fun List Loopscan Metrics Netcore Printf Sweep Topo Traffic

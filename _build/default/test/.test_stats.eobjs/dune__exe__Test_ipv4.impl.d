@@ -1,0 +1,1 @@
+test/test_ipv4.ml: Alcotest Bgp Gen Int32 List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_loopscan.ml: Alcotest Bgp List Loopscan Netcore QCheck QCheck_alcotest Topo Traffic

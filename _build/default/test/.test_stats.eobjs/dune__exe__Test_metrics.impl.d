@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Bgp Bgpsim Format List Loopscan Metrics Netcore String Traffic

@@ -1,0 +1,1 @@
+test/test_multi_sim.ml: Alcotest Bgp List Netcore Printf Topo

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Array Dessim Gen List Netcore QCheck QCheck_alcotest

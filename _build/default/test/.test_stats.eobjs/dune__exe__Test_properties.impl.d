@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bgp Dessim List Netcore QCheck QCheck_alcotest Topo

@@ -1,0 +1,1 @@
+test/test_routing_sim.ml: Alcotest Array Bgp List Loopscan Netcore Printf Topo

@@ -1,0 +1,1 @@
+test/test_speaker.ml: Alcotest Bgp Dessim Format List Queue String

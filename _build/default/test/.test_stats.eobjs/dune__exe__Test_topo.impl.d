@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array List Option QCheck QCheck_alcotest Stdlib String Topo

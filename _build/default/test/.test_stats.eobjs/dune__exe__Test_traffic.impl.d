@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Bgpsim List Netcore Printf Traffic

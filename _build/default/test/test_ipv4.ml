@@ -1,0 +1,281 @@
+(* Tests for IPv4 addresses, CIDR prefixes and the longest-prefix-match
+   trie. *)
+
+let addr s =
+  match Bgp.Ipv4.addr_of_string s with
+  | Some a -> a
+  | None -> Alcotest.failf "bad address literal %S" s
+
+let cidr s =
+  match Bgp.Ipv4.cidr_of_string s with
+  | Some c -> c
+  | None -> Alcotest.failf "bad cidr literal %S" s
+
+(* --- addresses --- *)
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Bgp.Ipv4.addr_to_string (addr s)))
+    [ "0.0.0.0"; "192.0.2.1"; "255.255.255.255"; "10.0.0.1"; "128.0.0.0" ]
+
+let test_addr_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s true (Bgp.Ipv4.addr_of_string s = None))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "-1.0.0.0"; "a.b.c.d"; "01.2.3.4" ]
+
+let test_addr_msb_handling () =
+  (* addresses above 128.0.0.0 exercise the int32 sign bit *)
+  let a = addr "255.0.0.1" in
+  Alcotest.(check string) "sign bit" "255.0.0.1" (Bgp.Ipv4.addr_to_string a);
+  Alcotest.(check bool) "bit 0 set" true (Bgp.Ipv4.bit a 0);
+  Alcotest.(check bool) "bit 31 set" true (Bgp.Ipv4.bit a 31);
+  Alcotest.(check bool) "bit 8 clear" false (Bgp.Ipv4.bit a 8)
+
+(* --- cidr --- *)
+
+let test_cidr_canonicalizes () =
+  let c = Bgp.Ipv4.cidr (addr "10.1.2.3") 8 in
+  Alcotest.(check string) "host bits cleared" "10.0.0.0/8"
+    (Bgp.Ipv4.cidr_to_string c)
+
+let test_cidr_parse () =
+  Alcotest.(check string) "parse" "192.0.2.0/24"
+    (Bgp.Ipv4.cidr_to_string (cidr "192.0.2.55/24"));
+  Alcotest.(check string) "bare address is /32" "192.0.2.55/32"
+    (Bgp.Ipv4.cidr_to_string (cidr "192.0.2.55"));
+  Alcotest.(check bool) "bad mask" true
+    (Bgp.Ipv4.cidr_of_string "10.0.0.0/33" = None);
+  Alcotest.(check bool) "zero mask" true
+    (Bgp.Ipv4.cidr_of_string "1.2.3.4/0"
+    |> Option.map Bgp.Ipv4.cidr_to_string
+    = Some "0.0.0.0/0")
+
+let test_cidr_contains () =
+  let c = cidr "10.0.0.0/8" in
+  Alcotest.(check bool) "inside" true (Bgp.Ipv4.contains_addr c (addr "10.255.0.1"));
+  Alcotest.(check bool) "outside" false (Bgp.Ipv4.contains_addr c (addr "11.0.0.1"));
+  Alcotest.(check bool) "default route contains all" true
+    (Bgp.Ipv4.contains_addr (cidr "0.0.0.0/0") (addr "203.0.113.9"))
+
+let test_cidr_subsumes () =
+  Alcotest.(check bool) "super" true
+    (Bgp.Ipv4.subsumes (cidr "10.0.0.0/8") (cidr "10.1.0.0/16"));
+  Alcotest.(check bool) "not the other way" false
+    (Bgp.Ipv4.subsumes (cidr "10.1.0.0/16") (cidr "10.0.0.0/8"));
+  Alcotest.(check bool) "disjoint" false
+    (Bgp.Ipv4.subsumes (cidr "10.0.0.0/8") (cidr "11.0.0.0/16"));
+  Alcotest.(check bool) "self" true
+    (Bgp.Ipv4.subsumes (cidr "10.0.0.0/8") (cidr "10.0.0.0/8"))
+
+let test_cidr_compare_order () =
+  let sorted =
+    List.sort Bgp.Ipv4.cidr_compare
+      [ cidr "10.0.0.0/16"; cidr "10.0.0.0/8"; cidr "9.0.0.0/8"; cidr "200.0.0.0/8" ]
+  in
+  Alcotest.(check (list string))
+    "order"
+    [ "9.0.0.0/8"; "10.0.0.0/8"; "10.0.0.0/16"; "200.0.0.0/8" ]
+    (List.map Bgp.Ipv4.cidr_to_string sorted)
+
+(* --- LPM trie --- *)
+
+let table bindings =
+  List.fold_left
+    (fun t (p, v) -> Bgp.Lpm_trie.add t (cidr p) v)
+    Bgp.Lpm_trie.empty bindings
+
+let test_trie_empty () =
+  Alcotest.(check int) "size" 0 (Bgp.Lpm_trie.size Bgp.Lpm_trie.empty);
+  Alcotest.(check bool) "lookup" true
+    (Bgp.Lpm_trie.lookup Bgp.Lpm_trie.empty (addr "10.0.0.1") = None)
+
+let test_trie_longest_match_wins () =
+  let t =
+    table [ ("0.0.0.0/0", "default"); ("10.0.0.0/8", "ten"); ("10.1.0.0/16", "ten-one") ]
+  in
+  let result a =
+    match Bgp.Lpm_trie.lookup t (addr a) with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  Alcotest.(check string) "most specific" "ten-one" (result "10.1.2.3");
+  Alcotest.(check string) "middle" "ten" (result "10.2.0.1");
+  Alcotest.(check string) "default" "default" (result "192.0.2.1")
+
+let test_trie_exact_vs_lpm () =
+  let t = table [ ("10.0.0.0/8", 1) ] in
+  Alcotest.(check bool) "exact present" true
+    (Bgp.Lpm_trie.find_exact t (cidr "10.0.0.0/8") = Some 1);
+  Alcotest.(check bool) "exact absent at other length" true
+    (Bgp.Lpm_trie.find_exact t (cidr "10.0.0.0/16") = None)
+
+let test_trie_replace () =
+  let t = table [ ("10.0.0.0/8", 1); ("10.0.0.0/8", 2) ] in
+  Alcotest.(check int) "one binding" 1 (Bgp.Lpm_trie.size t);
+  Alcotest.(check bool) "replaced" true
+    (Bgp.Lpm_trie.find_exact t (cidr "10.0.0.0/8") = Some 2)
+
+let test_trie_remove () =
+  let t = table [ ("10.0.0.0/8", 1); ("10.1.0.0/16", 2) ] in
+  let t = Bgp.Lpm_trie.remove t (cidr "10.1.0.0/16") in
+  Alcotest.(check int) "size" 1 (Bgp.Lpm_trie.size t);
+  (* the covering prefix now answers for the removed one's addresses *)
+  Alcotest.(check bool) "falls back" true
+    (match Bgp.Lpm_trie.lookup t (addr "10.1.2.3") with
+    | Some (p, 1) -> Bgp.Ipv4.cidr_to_string p = "10.0.0.0/8"
+    | _ -> false);
+  (* removing an absent prefix is a no-op *)
+  let t' = Bgp.Lpm_trie.remove t (cidr "99.0.0.0/8") in
+  Alcotest.(check int) "no-op" 1 (Bgp.Lpm_trie.size t')
+
+let test_trie_host_routes () =
+  let t = table [ ("192.0.2.7/32", "host"); ("192.0.2.0/24", "net") ] in
+  Alcotest.(check bool) "host route wins" true
+    (match Bgp.Lpm_trie.lookup t (addr "192.0.2.7") with
+    | Some (_, "host") -> true
+    | _ -> false);
+  Alcotest.(check bool) "neighbor uses net" true
+    (match Bgp.Lpm_trie.lookup t (addr "192.0.2.8") with
+    | Some (_, "net") -> true
+    | _ -> false)
+
+let test_trie_default_route_only () =
+  let t = table [ ("0.0.0.0/0", "default") ] in
+  Alcotest.(check bool) "everything matches" true
+    (match Bgp.Lpm_trie.lookup t (addr "203.0.113.1") with
+    | Some (p, "default") -> Bgp.Ipv4.mask_length p = 0
+    | _ -> false);
+  let t = Bgp.Lpm_trie.remove t (cidr "0.0.0.0/0") in
+  Alcotest.(check bool) "and then nothing does" true
+    (Bgp.Lpm_trie.lookup t (addr "203.0.113.1") = None);
+  Alcotest.(check int) "empty again" 0 (Bgp.Lpm_trie.size t)
+
+let test_trie_fold_order_independent_of_insertion () =
+  let a = table [ ("10.0.0.0/8", 1); ("9.0.0.0/8", 2) ] in
+  let b = table [ ("9.0.0.0/8", 2); ("10.0.0.0/8", 1) ] in
+  Alcotest.(check bool) "same table" true
+    (Bgp.Lpm_trie.to_list a = Bgp.Lpm_trie.to_list b)
+
+let test_trie_to_list_sorted () =
+  let t = table [ ("10.0.0.0/16", 2); ("9.0.0.0/8", 1); ("10.0.0.0/8", 3) ] in
+  Alcotest.(check (list string))
+    "sorted"
+    [ "9.0.0.0/8"; "10.0.0.0/8"; "10.0.0.0/16" ]
+    (List.map (fun (p, _) -> Bgp.Ipv4.cidr_to_string p) (Bgp.Lpm_trie.to_list t))
+
+(* --- properties --- *)
+
+(* full 32-bit address coverage, sign bit included *)
+let gen_addr_gen =
+  QCheck.Gen.(
+    map2
+      (fun hi lo ->
+        Bgp.Ipv4.addr_of_int32
+          (Int32.logor
+             (Int32.shift_left (Int32.of_int hi) 16)
+             (Int32.of_int lo)))
+      (int_bound 0xFFFF) (int_bound 0xFFFF))
+
+let gen_cidr =
+  QCheck.make
+    QCheck.Gen.(
+      map2 (fun a len -> Bgp.Ipv4.cidr a len) gen_addr_gen (int_range 0 32))
+
+let gen_addr = QCheck.make gen_addr_gen
+
+let prop_lookup_is_lpm =
+  (* trie lookup agrees with a linear scan for the longest containing
+     prefix *)
+  QCheck.Test.make ~name:"trie lookup = linear longest-prefix scan" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 0 30) gen_cidr) gen_addr)
+    (fun (prefixes, a) ->
+      let t =
+        List.fold_left
+          (fun t p -> Bgp.Lpm_trie.add t p (Bgp.Ipv4.cidr_to_string p))
+          Bgp.Lpm_trie.empty prefixes
+      in
+      let reference =
+        List.filter (fun p -> Bgp.Ipv4.contains_addr p a) prefixes
+        |> List.sort (fun x y ->
+               compare (Bgp.Ipv4.mask_length y) (Bgp.Ipv4.mask_length x))
+        |> function
+        | [] -> None
+        | best :: _ -> Some (Bgp.Ipv4.mask_length best)
+      in
+      let got =
+        Option.map (fun (p, _) -> Bgp.Ipv4.mask_length p) (Bgp.Lpm_trie.lookup t a)
+      in
+      got = reference)
+
+let prop_add_remove_roundtrip =
+  QCheck.Test.make ~name:"add then remove restores absence" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 0 20) gen_cidr) gen_cidr)
+    (fun (background, p) ->
+      let background = List.filter (fun q -> not (Bgp.Ipv4.cidr_equal p q)) background in
+      let t =
+        List.fold_left (fun t q -> Bgp.Lpm_trie.add t q 0) Bgp.Lpm_trie.empty background
+      in
+      let t' = Bgp.Lpm_trie.remove (Bgp.Lpm_trie.add t p 1) p in
+      Bgp.Lpm_trie.find_exact t' p = None
+      && Bgp.Lpm_trie.size t' = Bgp.Lpm_trie.size t)
+
+let prop_to_list_roundtrip =
+  QCheck.Test.make ~name:"to_list holds exactly the distinct bindings" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 30) gen_cidr)
+    (fun prefixes ->
+      let distinct = List.sort_uniq Bgp.Ipv4.cidr_compare prefixes in
+      let t =
+        List.fold_left (fun t p -> Bgp.Lpm_trie.add t p ()) Bgp.Lpm_trie.empty prefixes
+      in
+      List.map fst (Bgp.Lpm_trie.to_list t) = distinct)
+
+let prop_subsumes_containment =
+  QCheck.Test.make ~name:"subsumes = containment of network addresses" ~count:200
+    QCheck.(pair gen_cidr gen_cidr)
+    (fun (outer, inner) ->
+      Bgp.Ipv4.subsumes outer inner
+      = (Bgp.Ipv4.mask_length outer <= Bgp.Ipv4.mask_length inner
+        && Bgp.Ipv4.contains_addr outer (Bgp.Ipv4.network inner)))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ipv4"
+    [
+      ( "addr",
+        [
+          tc "roundtrip" test_addr_roundtrip;
+          tc "rejects garbage" test_addr_rejects_garbage;
+          tc "sign-bit addresses" test_addr_msb_handling;
+        ] );
+      ( "cidr",
+        [
+          tc "canonicalizes host bits" test_cidr_canonicalizes;
+          tc "parse" test_cidr_parse;
+          tc "containment" test_cidr_contains;
+          tc "subsumption" test_cidr_subsumes;
+          tc "compare order" test_cidr_compare_order;
+        ] );
+      ( "lpm-trie",
+        [
+          tc "empty" test_trie_empty;
+          tc "longest match wins" test_trie_longest_match_wins;
+          tc "exact vs lpm" test_trie_exact_vs_lpm;
+          tc "replace" test_trie_replace;
+          tc "remove falls back to cover" test_trie_remove;
+          tc "host routes" test_trie_host_routes;
+          tc "to_list sorted" test_trie_to_list_sorted;
+          tc "default route only" test_trie_default_route_only;
+          tc "fold independent of insertion order"
+            test_trie_fold_order_independent_of_insertion;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_lookup_is_lpm;
+            prop_add_remove_roundtrip;
+            prop_to_list_roundtrip;
+            prop_subsumes_containment;
+          ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the multi-prefix simulation: independent per-prefix
+   forwarding, victim accounting, background churn, and validation. *)
+
+let clique = Topo.Generators.clique 6
+
+let run ?churn ?config ~origins ~victim () =
+  Bgp.Multi_sim.run ?churn ?config ~graph:clique ~origins ~victim ~seed:1 ()
+
+let test_all_prefixes_converge () =
+  let o = run ~origins:[ 0; 1; 2 ] ~victim:0 () in
+  Alcotest.(check bool) "converged" true o.converged;
+  Alcotest.(check int) "three prefixes" 3 (List.length o.prefixes);
+  (* before the failure every node routes every prefix *)
+  let before = o.t_fail -. 1. in
+  List.iter
+    (fun (prefix, fib) ->
+      let origin = Bgp.Prefix.origin prefix in
+      List.iter
+        (fun v ->
+          if v <> origin then
+            Alcotest.(check bool)
+              (Printf.sprintf "node %d routes %d" v origin)
+              true
+              (Netcore.Fib_history.lookup fib ~node:v ~time:before <> None))
+        (Topo.Graph.nodes clique))
+    o.prefixes
+
+let test_victim_tdown_only_hits_victim () =
+  let o = run ~origins:[ 0; 1; 2 ] ~victim:1 () in
+  let late = o.victim_convergence_end +. 100. in
+  List.iter
+    (fun (prefix, fib) ->
+      let origin = Bgp.Prefix.origin prefix in
+      let routable =
+        List.exists
+          (fun v ->
+            v <> origin
+            && Netcore.Fib_history.lookup fib ~node:v ~time:late <> None)
+          (Topo.Graph.nodes clique)
+      in
+      if Bgp.Prefix.equal prefix o.victim then
+        Alcotest.(check bool) "victim unroutable" false routable
+      else Alcotest.(check bool) "bystander intact" true routable)
+    o.prefixes
+
+let test_victim_convergence_positive () =
+  let o = run ~origins:[ 0; 3 ] ~victim:0 () in
+  Alcotest.(check bool) "victim messages flowed" true (o.victim_messages > 0);
+  Alcotest.(check bool) "positive convergence" true
+    (Bgp.Multi_sim.convergence_time o > 0.);
+  Alcotest.(check int) "quiet background" 0 o.background_messages
+
+let test_churn_generates_background_traffic () =
+  let churn =
+    { Bgp.Multi_sim.period = 20.; cycles = 3; flappers = [ 1 ] }
+  in
+  let o = run ~churn ~origins:[ 0; 1 ] ~victim:0 () in
+  Alcotest.(check bool) "background messages" true (o.background_messages > 0);
+  Alcotest.(check bool) "still converges" true o.converged
+
+let test_churn_validation () =
+  let raises churn =
+    try
+      ignore (run ~churn ~origins:[ 0; 1 ] ~victim:0 ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "victim cannot flap" true
+    (raises { Bgp.Multi_sim.period = 10.; cycles = 1; flappers = [ 0 ] });
+  Alcotest.(check bool) "bad period" true
+    (raises { Bgp.Multi_sim.period = 0.; cycles = 1; flappers = [ 1 ] });
+  Alcotest.(check bool) "bad flapper index" true
+    (raises { Bgp.Multi_sim.period = 10.; cycles = 1; flappers = [ 9 ] })
+
+let test_origin_validation () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty origins" true
+    (raises (fun () -> run ~origins:[] ~victim:0 ()));
+  Alcotest.(check bool) "duplicate origins" true
+    (raises (fun () -> run ~origins:[ 0; 0 ] ~victim:0 ()));
+  Alcotest.(check bool) "victim out of range" true
+    (raises (fun () -> run ~origins:[ 0; 1 ] ~victim:5 ()))
+
+let test_deterministic () =
+  let a = run ~origins:[ 0; 2; 4 ] ~victim:0 () in
+  let b = run ~origins:[ 0; 2; 4 ] ~victim:0 () in
+  Alcotest.(check (float 0.)) "conv" (Bgp.Multi_sim.convergence_time a)
+    (Bgp.Multi_sim.convergence_time b);
+  Alcotest.(check int) "victim msgs" a.victim_messages b.victim_messages
+
+let test_matches_single_prefix_sim () =
+  (* with a single prefix the multi-prefix harness must reproduce the
+     single-prefix one exactly (same seed, same draws, same schedule) *)
+  let graph = Topo.Generators.clique 5 in
+  let single =
+    Bgp.Routing_sim.run ~graph ~origin:0 ~event:Bgp.Routing_sim.Tdown ~seed:3 ()
+  in
+  let multi =
+    Bgp.Multi_sim.run ~graph ~origins:[ 0 ] ~victim:0 ~seed:3 ()
+  in
+  Alcotest.(check (float 1e-9)) "same convergence"
+    (Bgp.Routing_sim.convergence_time single)
+    (Bgp.Multi_sim.convergence_time multi)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "multi-sim"
+    [
+      ( "behaviour",
+        [
+          tc "all prefixes converge" test_all_prefixes_converge;
+          tc "T_down only hits the victim" test_victim_tdown_only_hits_victim;
+          tc "victim accounting" test_victim_convergence_positive;
+          tc "churn generates background traffic"
+            test_churn_generates_background_traffic;
+          tc "matches the single-prefix sim" test_matches_single_prefix_sim;
+          tc "deterministic" test_deterministic;
+        ] );
+      ( "validation",
+        [
+          tc "churn validation" test_churn_validation;
+          tc "origin validation" test_origin_validation;
+        ] );
+    ]

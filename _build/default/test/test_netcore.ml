@@ -1,0 +1,308 @@
+(* Tests for the network substrate: timing parameters, the FIB history,
+   the run trace, links and the per-node serial processor. *)
+
+(* --- Params --- *)
+
+let test_params_default_matches_paper () =
+  let p = Netcore.Params.default in
+  Alcotest.(check (float 0.)) "2 ms links" 0.002 p.link_delay;
+  Alcotest.(check (float 0.)) "proc min" 0.1 p.proc_delay_min;
+  Alcotest.(check (float 0.)) "proc max" 0.5 p.proc_delay_max;
+  Alcotest.(check int) "ttl 128" 128 p.ttl;
+  Alcotest.(check (float 0.)) "10 pkt/s" 10. p.pkt_rate;
+  Netcore.Params.validate p
+
+let test_params_validation () =
+  let raises p =
+    try
+      Netcore.Params.validate p;
+      false
+    with Invalid_argument _ -> true
+  in
+  let d = Netcore.Params.default in
+  Alcotest.(check bool) "link" true (raises { d with link_delay = 0. });
+  Alcotest.(check bool) "proc order" true
+    (raises { d with proc_delay_max = 0.05 });
+  Alcotest.(check bool) "ttl" true (raises { d with ttl = 0 });
+  Alcotest.(check bool) "rate" true (raises { d with pkt_rate = 0. })
+
+(* --- Fib_history --- *)
+
+let test_fib_initially_empty () =
+  let fib = Netcore.Fib_history.create ~n:3 in
+  Alcotest.(check bool) "no route" true
+    (Netcore.Fib_history.lookup fib ~node:0 ~time:100. = None);
+  Alcotest.(check int) "no changes" 0 (Netcore.Fib_history.change_count fib)
+
+let test_fib_lookup_semantics () =
+  let fib = Netcore.Fib_history.create ~n:2 in
+  Netcore.Fib_history.record fib ~time:1. ~node:0 ~next_hop:(Some 1);
+  Netcore.Fib_history.record fib ~time:5. ~node:0 ~next_hop:None;
+  let look t = Netcore.Fib_history.lookup fib ~node:0 ~time:t in
+  Alcotest.(check bool) "before first" true (look 0.5 = None);
+  Alcotest.(check bool) "at change" true (look 1. = Some 1);
+  Alcotest.(check bool) "between" true (look 3. = Some 1);
+  Alcotest.(check bool) "after withdrawal" true (look 6. = None)
+
+let test_fib_dedupes_no_ops () =
+  let fib = Netcore.Fib_history.create ~n:1 in
+  Netcore.Fib_history.record fib ~time:1. ~node:0 ~next_hop:(Some 1);
+  Netcore.Fib_history.record fib ~time:2. ~node:0 ~next_hop:(Some 1);
+  Alcotest.(check int) "one real change" 1
+    (Netcore.Fib_history.change_count fib)
+
+let test_fib_rejects_time_regression () =
+  let fib = Netcore.Fib_history.create ~n:1 in
+  Netcore.Fib_history.record fib ~time:5. ~node:0 ~next_hop:(Some 1);
+  Alcotest.(check bool) "raises" true
+    (try
+       Netcore.Fib_history.record fib ~time:4. ~node:0 ~next_hop:None;
+       false
+     with Invalid_argument _ -> true)
+
+let test_fib_snapshot_strictly_before () =
+  let fib = Netcore.Fib_history.create ~n:2 in
+  Netcore.Fib_history.record fib ~time:1. ~node:0 ~next_hop:(Some 1);
+  Netcore.Fib_history.record fib ~time:2. ~node:1 ~next_hop:(Some 0);
+  let snap = Netcore.Fib_history.snapshot fib ~before:2. in
+  Alcotest.(check bool) "node 0 included" true (snap.(0) = Some 1);
+  Alcotest.(check bool) "change at boundary excluded" true (snap.(1) = None)
+
+let test_fib_changes_from () =
+  let fib = Netcore.Fib_history.create ~n:2 in
+  Netcore.Fib_history.record fib ~time:1. ~node:0 ~next_hop:(Some 1);
+  Netcore.Fib_history.record fib ~time:3. ~node:1 ~next_hop:(Some 0);
+  Netcore.Fib_history.record fib ~time:4. ~node:0 ~next_hop:None;
+  let changes = Netcore.Fib_history.changes_from fib ~from:3. in
+  Alcotest.(check int) "two changes" 2 (List.length changes);
+  let first = List.hd changes in
+  Alcotest.(check int) "chronological" 1 first.Netcore.Fib_history.node;
+  Alcotest.(check bool) "last time" true
+    (Netcore.Fib_history.last_change_time fib = Some 4.)
+
+let test_fib_equal_time_changes_keep_order () =
+  let fib = Netcore.Fib_history.create ~n:3 in
+  Netcore.Fib_history.record fib ~time:1. ~node:2 ~next_hop:(Some 0);
+  Netcore.Fib_history.record fib ~time:1. ~node:1 ~next_hop:(Some 2);
+  let changes = Netcore.Fib_history.changes_from fib ~from:0. in
+  Alcotest.(check (list int)) "recording order"
+    [ 2; 1 ]
+    (List.map (fun c -> c.Netcore.Fib_history.node) changes)
+
+let prop_fib_lookup_matches_reference =
+  (* Compare binary-search lookups against a naive scan over a random
+     change schedule. *)
+  QCheck.Test.make ~name:"fib lookup matches linear reference" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 40)
+        (pair (float_range 0. 100.) (option (int_bound 4))))
+    (fun raw ->
+      let changes =
+        List.sort (fun (a, _) (b, _) -> compare a b) raw
+      in
+      let fib = Netcore.Fib_history.create ~n:1 in
+      List.iter
+        (fun (time, nh) ->
+          Netcore.Fib_history.record fib ~time ~node:0 ~next_hop:nh)
+        changes;
+      (* reference: last recorded value at or before t, skipping no-ops
+         exactly as record does *)
+      let reference t =
+        let applied = ref None and current = ref None in
+        List.iter
+          (fun (time, nh) ->
+            if nh <> !current then begin
+              current := nh;
+              if time <= t then applied := nh
+            end)
+          changes;
+        !applied
+      in
+      List.for_all
+        (fun t ->
+          Netcore.Fib_history.lookup fib ~node:0 ~time:t = reference t)
+        [ 0.; 10.; 25.; 50.; 75.; 99.; 100.; 200. ])
+
+(* --- Trace --- *)
+
+let test_trace_send_log () =
+  let trace = Netcore.Trace.create ~n:3 in
+  Netcore.Trace.log_send trace ~time:1. ~src:0 ~dst:1 ~kind:Netcore.Trace.Announce;
+  Netcore.Trace.log_send trace ~time:2. ~src:1 ~dst:2 ~kind:Netcore.Trace.Withdraw;
+  Netcore.Trace.log_send trace ~time:3. ~src:2 ~dst:0 ~kind:Netcore.Trace.Announce;
+  Alcotest.(check int) "all" 3 (Netcore.Trace.send_count_from trace ~from:0.);
+  Alcotest.(check int) "from 2" 2 (Netcore.Trace.send_count_from trace ~from:2.);
+  Alcotest.(check int) "announces from 2" 1
+    (Netcore.Trace.count_kind_from trace ~from:2. ~kind:Netcore.Trace.Announce);
+  Alcotest.(check bool) "last send" true
+    (Netcore.Trace.last_send_at_or_after trace ~from:0. = Some 3.);
+  Alcotest.(check bool) "none after 5" true
+    (Netcore.Trace.last_send_at_or_after trace ~from:5. = None)
+
+let test_trace_link_events () =
+  let trace = Netcore.Trace.create ~n:2 in
+  Netcore.Trace.log_link_event trace ~time:1. ~a:0 ~b:1 ~up:false;
+  match Netcore.Trace.link_events trace with
+  | [ e ] ->
+      Alcotest.(check bool) "down" false e.Netcore.Trace.up;
+      Alcotest.(check (float 0.)) "time" 1. e.Netcore.Trace.time
+  | _ -> Alcotest.fail "expected one event"
+
+(* --- Link --- *)
+
+let test_link_delivers_with_delay () =
+  let engine = Dessim.Engine.create () in
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:0.002 in
+  let arrived = ref (-1.) in
+  let sent =
+    Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () ->
+        arrived := Dessim.Engine.now engine)
+  in
+  Alcotest.(check bool) "sent" true sent;
+  Dessim.Engine.run engine;
+  Alcotest.(check (float 1e-12)) "delay" 0.002 !arrived
+
+let test_link_down_refuses_send () =
+  let engine = Dessim.Engine.create () in
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:0.002 in
+  Netcore.Link.fail link;
+  Alcotest.(check bool) "down" false (Netcore.Link.is_up link);
+  let sent = Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () -> ()) in
+  Alcotest.(check bool) "refused" false sent
+
+let test_link_drops_in_flight_on_failure () =
+  let engine = Dessim.Engine.create () in
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:1. in
+  let arrived = ref false in
+  ignore
+    (Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () -> arrived := true));
+  (* fail the link before the message lands *)
+  ignore (Dessim.Engine.schedule engine ~at:0.5 (fun () -> Netcore.Link.fail link));
+  Dessim.Engine.run engine;
+  Alcotest.(check bool) "message lost" false !arrived
+
+let test_link_restore_uses_new_epoch () =
+  let engine = Dessim.Engine.create () in
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:1. in
+  let arrived = ref 0 in
+  ignore
+    (Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () -> incr arrived));
+  ignore
+    (Dessim.Engine.schedule engine ~at:0.2 (fun () ->
+         Netcore.Link.fail link;
+         Netcore.Link.restore link;
+         (* a message sent after restore must arrive *)
+         ignore
+           (Netcore.Link.send link ~engine ~from:1 ~deliver:(fun () ->
+                incr arrived))));
+  Dessim.Engine.run engine;
+  (* the pre-failure message is lost, the post-restore one arrives *)
+  Alcotest.(check int) "only fresh epoch" 1 !arrived
+
+let test_link_rejects_non_endpoint () =
+  let engine = Dessim.Engine.create () in
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:1. in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Netcore.Link.send link ~engine ~from:7 ~deliver:(fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Node_proc --- *)
+
+let test_node_proc_serializes () =
+  let engine = Dessim.Engine.create () in
+  let proc = Netcore.Node_proc.create () in
+  let completions = ref [] in
+  let submit delay tag =
+    Netcore.Node_proc.submit proc ~engine ~delay ~work:(fun () ->
+        completions := (tag, Dessim.Engine.now engine) :: !completions)
+  in
+  (* two messages arriving back-to-back at t=0 *)
+  submit 0.3 "first";
+  submit 0.2 "second";
+  Dessim.Engine.run engine;
+  match List.rev !completions with
+  | [ ("first", t1); ("second", t2) ] ->
+      Alcotest.(check (float 1e-9)) "first at own delay" 0.3 t1;
+      Alcotest.(check (float 1e-9)) "second queued behind" 0.5 t2
+  | _ -> Alcotest.fail "wrong completion order"
+
+let test_node_proc_idle_gap () =
+  let engine = Dessim.Engine.create () in
+  let proc = Netcore.Node_proc.create () in
+  let finish = ref 0. in
+  Netcore.Node_proc.submit proc ~engine ~delay:0.1 ~work:(fun () ->
+      finish := Dessim.Engine.now engine);
+  Dessim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "first done" 0.1 !finish;
+  (* a message arriving after the CPU went idle starts immediately *)
+  ignore
+    (Dessim.Engine.schedule engine ~at:5. (fun () ->
+         Netcore.Node_proc.submit proc ~engine ~delay:0.1 ~work:(fun () ->
+             finish := Dessim.Engine.now engine)));
+  Dessim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "no stale backlog" 5.1 !finish
+
+let test_node_proc_queue_depth () =
+  let engine = Dessim.Engine.create () in
+  let proc = Netcore.Node_proc.create () in
+  Netcore.Node_proc.submit proc ~engine ~delay:0.5 ~work:(fun () -> ());
+  Netcore.Node_proc.submit proc ~engine ~delay:0.5 ~work:(fun () -> ());
+  Alcotest.(check int) "two queued" 2 (Netcore.Node_proc.queue_depth proc);
+  Dessim.Engine.run engine;
+  Alcotest.(check int) "drained" 0 (Netcore.Node_proc.queue_depth proc);
+  Alcotest.(check (float 1e-9)) "busy_until" 1.
+    (Netcore.Node_proc.busy_until proc)
+
+let test_node_proc_rejects_negative () =
+  let engine = Dessim.Engine.create () in
+  let proc = Netcore.Node_proc.create () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Netcore.Node_proc.submit proc ~engine ~delay:(-0.1) ~work:(fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "netcore"
+    [
+      ( "params",
+        [
+          tc "defaults match the paper" test_params_default_matches_paper;
+          tc "validation" test_params_validation;
+        ] );
+      ( "fib-history",
+        [
+          tc "initially empty" test_fib_initially_empty;
+          tc "lookup semantics" test_fib_lookup_semantics;
+          tc "no-op changes dropped" test_fib_dedupes_no_ops;
+          tc "rejects time regression" test_fib_rejects_time_regression;
+          tc "snapshot is strictly-before" test_fib_snapshot_strictly_before;
+          tc "changes_from" test_fib_changes_from;
+          tc "equal-time order kept" test_fib_equal_time_changes_keep_order;
+          QCheck_alcotest.to_alcotest prop_fib_lookup_matches_reference;
+        ] );
+      ( "trace",
+        [
+          tc "send log and counts" test_trace_send_log;
+          tc "link events" test_trace_link_events;
+        ] );
+      ( "link",
+        [
+          tc "delivers with delay" test_link_delivers_with_delay;
+          tc "down link refuses" test_link_down_refuses_send;
+          tc "in-flight loss on failure" test_link_drops_in_flight_on_failure;
+          tc "restore gets fresh epoch" test_link_restore_uses_new_epoch;
+          tc "rejects non-endpoint" test_link_rejects_non_endpoint;
+        ] );
+      ( "node-proc",
+        [
+          tc "serializes processing" test_node_proc_serializes;
+          tc "idle gap resets" test_node_proc_idle_gap;
+          tc "queue depth" test_node_proc_queue_depth;
+          tc "rejects negative delay" test_node_proc_rejects_negative;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Tests for the stats library: descriptive statistics, least-squares
+   fits and histograms. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?eps msg expected actual =
+  if not (feq ?eps expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* --- Descriptive --- *)
+
+let test_sum_empty () = check_float "sum []" 0. (Stats.Descriptive.sum [||])
+
+let test_sum_basic () =
+  check_float "sum" 10. (Stats.Descriptive.sum [| 1.; 2.; 3.; 4. |])
+
+let test_sum_kahan () =
+  (* Kahan summation keeps the tiny terms that naive summation drops. *)
+  let xs = Array.make 10_000 1e-8 in
+  xs.(0) <- 1e8;
+  let total = Stats.Descriptive.sum xs in
+  check_float ~eps:1e-6 "kahan" (1e8 +. 9_999e-8) total
+
+let test_mean () =
+  check_float "mean" 2.5 (Stats.Descriptive.mean [| 1.; 2.; 3.; 4. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "mean []"
+    (Invalid_argument "Descriptive.mean: empty sample") (fun () ->
+      ignore (Stats.Descriptive.mean [||]))
+
+let test_variance_single () =
+  check_float "variance [x]" 0. (Stats.Descriptive.variance [| 42. |])
+
+let test_variance () =
+  (* sample variance of 2,4,4,4,5,5,7,9 is 32/7 *)
+  check_float "variance" (32. /. 7.)
+    (Stats.Descriptive.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_stddev () =
+  check_float "stddev" (sqrt (32. /. 7.))
+    (Stats.Descriptive.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_min_max () =
+  let xs = [| 3.; -1.; 7.; 0. |] in
+  check_float "min" (-1.) (Stats.Descriptive.min xs);
+  check_float "max" 7. (Stats.Descriptive.max xs)
+
+let test_percentile_bounds () =
+  let xs = [| 5.; 1.; 3. |] in
+  check_float "p0" 1. (Stats.Descriptive.percentile 0. xs);
+  check_float "p100" 5. (Stats.Descriptive.percentile 100. xs);
+  check_float "p50" 3. (Stats.Descriptive.percentile 50. xs)
+
+let test_percentile_interpolates () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "p25" 1.75 (Stats.Descriptive.percentile 25. xs)
+
+let test_percentile_rejects () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Descriptive.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.Descriptive.percentile 101. [| 1. |]))
+
+let test_median_even () =
+  check_float "median" 2.5 (Stats.Descriptive.median [| 1.; 2.; 3.; 4. |])
+
+let test_summarize () =
+  let s = Stats.Descriptive.summarize [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "n" 3 s.n;
+  check_float "mean" 2. s.mean;
+  check_float "min" 1. s.min;
+  check_float "max" 3. s.max;
+  check_float "median" 2. s.median
+
+let test_percentile_input_unchanged () =
+  let xs = [| 9.; 1.; 5. |] in
+  ignore (Stats.Descriptive.percentile 50. xs);
+  Alcotest.(check (array (float 0.))) "input intact" [| 9.; 1.; 5. |] xs
+
+(* --- Linear_fit --- *)
+
+let test_fit_exact_line () =
+  let points =
+    Array.init 10 (fun i -> (float_of_int i, (3. *. float_of_int i) +. 1.))
+  in
+  let f = Stats.Linear_fit.fit points in
+  check_float "slope" 3. f.slope;
+  check_float "intercept" 1. f.intercept;
+  check_float "r2" 1. f.r2
+
+let test_fit_constant_y () =
+  let points = [| (0., 5.); (1., 5.); (2., 5.) |] in
+  let f = Stats.Linear_fit.fit points in
+  check_float "slope" 0. f.slope;
+  check_float "r2 of exact constant fit" 1. f.r2
+
+let test_fit_needs_two_points () =
+  Alcotest.check_raises "fit one point"
+    (Invalid_argument "Linear_fit.fit: need at least two points") (fun () ->
+      ignore (Stats.Linear_fit.fit [| (1., 1.) |]))
+
+let test_fit_rejects_vertical () =
+  Alcotest.check_raises "vertical"
+    (Invalid_argument "Linear_fit.fit: all x values coincide") (fun () ->
+      ignore (Stats.Linear_fit.fit [| (1., 1.); (1., 2.) |]))
+
+let test_fit_noisy_r2_below_one () =
+  let f = Stats.Linear_fit.fit [| (0., 0.); (1., 2.); (2., 1.); (3., 4.) |] in
+  if f.r2 >= 1. || f.r2 <= 0. then
+    Alcotest.failf "noisy r2 should be in (0,1), got %g" f.r2
+
+let test_predict () =
+  let f = Stats.Linear_fit.fit [| (0., 1.); (2., 5.) |] in
+  check_float "predict" 3. (Stats.Linear_fit.predict f 1.)
+
+(* --- Histogram --- *)
+
+let test_histogram_buckets () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:5 in
+  Stats.Histogram.add h 0.5;
+  Stats.Histogram.add h 1.;
+  Stats.Histogram.add h 9.99;
+  Alcotest.(check int) "count" 3 (Stats.Histogram.count h);
+  Alcotest.(check int) "bucket 0" 2 (Stats.Histogram.bucket_count h 0);
+  Alcotest.(check int) "bucket 4" 1 (Stats.Histogram.bucket_count h 4)
+
+let test_histogram_clamps () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:1. ~buckets:2 in
+  Stats.Histogram.add h (-5.);
+  Stats.Histogram.add h 100.;
+  Alcotest.(check int) "below -> first" 1 (Stats.Histogram.bucket_count h 0);
+  Alcotest.(check int) "above -> last" 1 (Stats.Histogram.bucket_count h 1)
+
+let test_histogram_ranges () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:5 in
+  let lo, hi = Stats.Histogram.bucket_range h 1 in
+  check_float "range lo" 2. lo;
+  check_float "range hi" 4. hi
+
+let test_histogram_rejects () =
+  Alcotest.check_raises "zero buckets"
+    (Invalid_argument "Histogram.create: buckets <= 0") (fun () ->
+      ignore (Stats.Histogram.create ~lo:0. ~hi:1. ~buckets:0));
+  Alcotest.check_raises "inverted"
+    (Invalid_argument "Histogram.create: hi <= lo") (fun () ->
+      ignore (Stats.Histogram.create ~lo:1. ~hi:1. ~buckets:3))
+
+let test_histogram_to_list () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:4. ~buckets:4 in
+  Stats.Histogram.add h 2.5;
+  let buckets = Stats.Histogram.to_list h in
+  Alcotest.(check int) "bucket list length" 4 (List.length buckets);
+  let (_, _), c = List.nth buckets 2 in
+  Alcotest.(check int) "third bucket" 1 c
+
+(* --- properties --- *)
+
+let float_array_gen =
+  QCheck.(array_of_size Gen.(int_range 1 100) (float_range (-1000.) 1000.))
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
+    float_array_gen (fun xs ->
+      let m = Stats.Descriptive.mean xs in
+      m >= Stats.Descriptive.min xs -. 1e-9
+      && m <= Stats.Descriptive.max xs +. 1e-9)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:200 float_array_gen
+    (fun xs -> Stats.Descriptive.variance xs >= -1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(
+      pair float_array_gen
+        (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.Descriptive.percentile lo xs
+      <= Stats.Descriptive.percentile hi xs +. 1e-9)
+
+let prop_fit_recovers_line =
+  QCheck.Test.make ~name:"fit recovers an exact line" ~count:100
+    QCheck.(pair (float_range (-10.) 10.) (float_range (-10.) 10.))
+    (fun (slope, intercept) ->
+      let points =
+        Array.init 5 (fun i ->
+            let x = float_of_int i in
+            (x, (slope *. x) +. intercept))
+      in
+      let f = Stats.Linear_fit.fit points in
+      feq ~eps:1e-6 f.slope slope && feq ~eps:1e-6 f.intercept intercept)
+
+let prop_histogram_conserves_count =
+  QCheck.Test.make ~name:"histogram conserves sample count" ~count:100
+    float_array_gen (fun xs ->
+      let h = Stats.Histogram.create ~lo:(-100.) ~hi:100. ~buckets:7 in
+      Array.iter (Stats.Histogram.add h) xs;
+      let bucket_total =
+        List.fold_left
+          (fun acc (_, c) -> acc + c)
+          0
+          (Stats.Histogram.to_list h)
+      in
+      bucket_total = Array.length xs && Stats.Histogram.count h = bucket_total)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          tc "sum of empty array" test_sum_empty;
+          tc "sum of small array" test_sum_basic;
+          tc "compensated summation" test_sum_kahan;
+          tc "mean" test_mean;
+          tc "mean rejects empty" test_mean_empty;
+          tc "variance of singleton" test_variance_single;
+          tc "sample variance" test_variance;
+          tc "stddev" test_stddev;
+          tc "min and max" test_min_max;
+          tc "percentile bounds" test_percentile_bounds;
+          tc "percentile interpolation" test_percentile_interpolates;
+          tc "percentile range check" test_percentile_rejects;
+          tc "median of even-sized sample" test_median_even;
+          tc "summarize" test_summarize;
+          tc "percentile leaves input unsorted" test_percentile_input_unchanged;
+        ] );
+      ( "linear-fit",
+        [
+          tc "exact line" test_fit_exact_line;
+          tc "constant y" test_fit_constant_y;
+          tc "needs two points" test_fit_needs_two_points;
+          tc "rejects vertical line" test_fit_rejects_vertical;
+          tc "noisy data gives r2 in (0,1)" test_fit_noisy_r2_below_one;
+          tc "predict" test_predict;
+        ] );
+      ( "histogram",
+        [
+          tc "bucket assignment" test_histogram_buckets;
+          tc "clamps out-of-range samples" test_histogram_clamps;
+          tc "bucket ranges" test_histogram_ranges;
+          tc "rejects bad shapes" test_histogram_rejects;
+          tc "to_list" test_histogram_to_list;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mean_within_bounds;
+            prop_variance_nonneg;
+            prop_percentile_monotone;
+            prop_fit_recovers_line;
+            prop_histogram_conserves_count;
+          ] );
+    ]

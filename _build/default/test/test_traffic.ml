@@ -1,0 +1,325 @@
+(* Tests for the forwarding replay: single-packet walks against
+   hand-built FIB histories, and the constant-rate replay driver. *)
+
+let fib_with ~n changes =
+  let fib = Netcore.Fib_history.create ~n in
+  List.iter
+    (fun (time, node, next_hop) ->
+      Netcore.Fib_history.record fib ~time ~node ~next_hop)
+    changes;
+  fib
+
+let walk = Traffic.Forwarder.walk
+
+(* --- Forwarder --- *)
+
+let test_walk_delivers () =
+  (* chain 3 -> 2 -> 1 -> 0 *)
+  let fib =
+    fib_with ~n:4
+      [ (0., 3, Some 2); (0., 2, Some 1); (0., 1, Some 0) ]
+  in
+  match walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:128 ~src:3 ~send_time:1. with
+  | Traffic.Forwarder.Delivered { time; hops } ->
+      Alcotest.(check int) "hops" 3 hops;
+      Alcotest.(check (float 1e-9)) "arrival" 1.006 time
+  | f -> Alcotest.failf "expected delivery, got %a" Traffic.Forwarder.pp_fate f
+
+let test_walk_at_origin () =
+  let fib = fib_with ~n:1 [] in
+  match walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:128 ~src:0 ~send_time:0. with
+  | Traffic.Forwarder.Delivered { hops = 0; _ } -> ()
+  | f -> Alcotest.failf "expected 0-hop delivery, got %a" Traffic.Forwarder.pp_fate f
+
+let test_walk_unreachable () =
+  let fib = fib_with ~n:3 [ (0., 2, Some 1) ] in
+  match walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:128 ~src:2 ~send_time:1. with
+  | Traffic.Forwarder.Unreachable { at_node; _ } ->
+      Alcotest.(check int) "dropped at routeless node" 1 at_node
+  | f -> Alcotest.failf "expected unreachable, got %a" Traffic.Forwarder.pp_fate f
+
+let test_walk_loop_exhausts_ttl () =
+  (* 1 <-> 2, destination 0 never reached *)
+  let fib = fib_with ~n:3 [ (0., 1, Some 2); (0., 2, Some 1) ] in
+  match walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:128 ~src:1 ~send_time:5. with
+  | Traffic.Forwarder.Ttl_exhausted { time; at_node } ->
+      (* the paper's arithmetic: 128 hops x 2 ms = 256 ms lifetime *)
+      Alcotest.(check (float 1e-9)) "lifetime" (5. +. 0.256) time;
+      Alcotest.(check bool) "inside the loop" true (at_node = 1 || at_node = 2)
+  | f -> Alcotest.failf "expected exhaustion, got %a" Traffic.Forwarder.pp_fate f
+
+let test_walk_escapes_resolving_loop () =
+  (* the loop 1 <-> 2 resolves at t = 5.1 when node 2 repoints to 0;
+     a packet circling since t = 5 escapes and is delivered *)
+  let fib =
+    fib_with ~n:3 [ (0., 1, Some 2); (0., 2, Some 1); (5.1, 2, Some 0) ]
+  in
+  match walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:128 ~src:1 ~send_time:5. with
+  | Traffic.Forwarder.Delivered { time; hops } ->
+      Alcotest.(check bool) "took many hops" true (hops > 2);
+      Alcotest.(check bool) "after resolution" true (time > 5.1)
+  | f -> Alcotest.failf "expected escape, got %a" Traffic.Forwarder.pp_fate f
+
+let test_walk_ttl_boundary () =
+  (* ttl exactly equals path length: delivered with nothing to spare *)
+  let fib = fib_with ~n:3 [ (0., 2, Some 1); (0., 1, Some 0) ] in
+  (match walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:2 ~src:2 ~send_time:0. with
+  | Traffic.Forwarder.Delivered { hops = 2; _ } -> ()
+  | f -> Alcotest.failf "expected tight delivery, got %a" Traffic.Forwarder.pp_fate f);
+  match walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:1 ~src:2 ~send_time:0. with
+  | Traffic.Forwarder.Ttl_exhausted { at_node = 1; _ } -> ()
+  | f -> Alcotest.failf "expected exhaustion at 1, got %a" Traffic.Forwarder.pp_fate f
+
+let test_walk_validation () =
+  let fib = fib_with ~n:2 [] in
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "ttl 0" true
+    (raises (fun () ->
+         walk ~fib ~origin:0 ~link_delay:0.002 ~ttl:0 ~src:1 ~send_time:0.));
+  Alcotest.(check bool) "bad delay" true
+    (raises (fun () ->
+         walk ~fib ~origin:0 ~link_delay:0. ~ttl:4 ~src:1 ~send_time:0.))
+
+(* --- Replay --- *)
+
+let stable_chain_fib () =
+  fib_with ~n:4 [ (0., 3, Some 2); (0., 2, Some 1); (0., 1, Some 0) ]
+
+let test_replay_counts_and_rate () =
+  let fib = stable_chain_fib () in
+  let r =
+    Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window:(10., 20.) ~seed:1 ()
+  in
+  (* 3 sources x 10 pkt/s x 10 s *)
+  Alcotest.(check int) "sent" 300 r.sent;
+  Alcotest.(check int) "all delivered" 300 r.delivered;
+  Alcotest.(check int) "none exhausted" 0 r.exhausted;
+  Alcotest.(check (float 1e-9)) "no looping duration" 0.
+    (Traffic.Replay.overall_looping_duration r);
+  Alcotest.(check (float 1e-9)) "zero ratio" 0. (Traffic.Replay.looping_ratio r)
+
+let test_replay_loop_window () =
+  (* 1 <-> 2 looping during [10, 12]; resolved at 12 when 1 repoints *)
+  let fib =
+    fib_with ~n:3
+      [ (0., 2, Some 1); (0., 1, Some 0); (10., 1, Some 2); (12., 1, Some 0) ]
+  in
+  let r =
+    Traffic.Replay.run ~fib ~origin:0 ~n:3 ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window:(10., 14.) ~seed:1 ()
+  in
+  Alcotest.(check bool) "loop caught" true (r.exhausted > 0);
+  Alcotest.(check bool) "delivered after resolution" true (r.delivered > 0);
+  (match (r.first_exhaustion, r.last_exhaustion) with
+  | Some first, Some last ->
+      Alcotest.(check bool) "within looping episode" true
+        (first >= 10. && last <= 12.3)
+  | _ -> Alcotest.fail "expected exhaustions");
+  Alcotest.(check bool) "duration bounded by episode" true
+    (Traffic.Replay.overall_looping_duration r <= 2.3)
+
+let test_replay_ratio_cutoff () =
+  let fib = stable_chain_fib () in
+  let r =
+    Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window:(0., 10.) ~seed:1 ~ratio_cutoff:5. ()
+  in
+  Alcotest.(check int) "full window sent" 300 r.sent;
+  Alcotest.(check int) "denominator cut" 150 r.sent_for_ratio
+
+let test_replay_sources_subset () =
+  let fib = stable_chain_fib () in
+  let r =
+    Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window:(0., 10.) ~seed:1 ~sources:[ 3 ] ()
+  in
+  Alcotest.(check int) "one stream" 100 r.sent
+
+let test_replay_deterministic () =
+  let fib = stable_chain_fib () in
+  let go () =
+    Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window:(0., 10.) ~seed:9 ()
+  in
+  let a = go () and b = go () in
+  Alcotest.(check int) "sent" a.sent b.sent;
+  Alcotest.(check int) "delivered" a.delivered b.delivered
+
+let test_replay_empty_window () =
+  let fib = stable_chain_fib () in
+  let r =
+    Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window:(5., 5.) ~seed:1 ()
+  in
+  Alcotest.(check int) "nothing sent" 0 r.sent;
+  Alcotest.(check (float 0.)) "ratio zero" 0. (Traffic.Replay.looping_ratio r)
+
+let test_replay_validation () =
+  let fib = stable_chain_fib () in
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad rate" true
+    (raises (fun () ->
+         Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128
+           ~rate:0. ~window:(0., 1.) ~seed:1 ()));
+  Alcotest.(check bool) "inverted window" true
+    (raises (fun () ->
+         Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128
+           ~rate:1. ~window:(2., 1.) ~seed:1 ()));
+  Alcotest.(check bool) "origin as source" true
+    (raises (fun () ->
+         Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128
+           ~rate:1. ~window:(0., 1.) ~seed:1 ~sources:[ 0 ] ()))
+
+let test_replay_exhaustion_times_sorted () =
+  let fib =
+    fib_with ~n:3 [ (0., 1, Some 2); (0., 2, Some 1) ]
+  in
+  let r =
+    Traffic.Replay.run ~fib ~origin:0 ~n:3 ~link_delay:0.002 ~ttl:16 ~rate:50.
+      ~window:(0., 2.) ~seed:1 ()
+  in
+  Alcotest.(check bool) "everything exhausted" true (r.exhausted = r.sent);
+  let sorted = Array.copy r.exhaustion_times in
+  Array.sort compare sorted;
+  Alcotest.(check (array (float 0.))) "sorted" sorted r.exhaustion_times
+
+let test_fate_time_accessor () =
+  let t f = Traffic.Forwarder.fate_time f in
+  Alcotest.(check (float 0.)) "delivered" 1.
+    (t (Traffic.Forwarder.Delivered { time = 1.; hops = 3 }));
+  Alcotest.(check (float 0.)) "exhausted" 2.
+    (t (Traffic.Forwarder.Ttl_exhausted { time = 2.; at_node = 1 }));
+  Alcotest.(check (float 0.)) "unreachable" 3.
+    (t (Traffic.Forwarder.Unreachable { time = 3.; at_node = 2 }))
+
+let test_replay_sparse_rate () =
+  (* the interval exceeds the window: each source sends at most one
+     packet (its phase draw decides) and never more *)
+  let fib = stable_chain_fib () in
+  let r =
+    Traffic.Replay.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:128 ~rate:0.1
+      ~window:(0., 5.) ~seed:1 ()
+  in
+  Alcotest.(check bool) "at most one per source" true (r.sent <= 3);
+  Alcotest.(check int) "all fates accounted" r.sent
+    (r.delivered + r.unreachable + r.exhausted)
+
+(* --- Per_source --- *)
+
+let test_per_source_totals_match_replay () =
+  let fib =
+    fib_with ~n:3
+      [ (0., 2, Some 1); (0., 1, Some 0); (10., 1, Some 2); (12., 1, Some 0) ]
+  in
+  let window = (10., 14.) and seed = 1 in
+  let replay =
+    Traffic.Replay.run ~fib ~origin:0 ~n:3 ~link_delay:0.002 ~ttl:128 ~rate:10.
+      ~window ~seed ()
+  in
+  let per_source =
+    Traffic.Per_source.run ~fib ~origin:0 ~n:3 ~link_delay:0.002 ~ttl:128
+      ~rate:10. ~window ~seed ()
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 per_source in
+  Alcotest.(check int) "sent" replay.sent
+    (sum (fun (s : Traffic.Per_source.stats) -> s.sent));
+  Alcotest.(check int) "delivered" replay.delivered
+    (sum (fun (s : Traffic.Per_source.stats) -> s.delivered));
+  Alcotest.(check int) "exhausted" replay.exhausted
+    (sum (fun (s : Traffic.Per_source.stats) -> s.exhausted))
+
+let test_per_source_identifies_affected () =
+  (* loop between 1 and 2; node 3 routes straight to the origin and is
+     never affected *)
+  let fib =
+    fib_with ~n:4 [ (0., 1, Some 2); (0., 2, Some 1); (0., 3, Some 0) ]
+  in
+  let per_source =
+    Traffic.Per_source.run ~fib ~origin:0 ~n:4 ~link_delay:0.002 ~ttl:16
+      ~rate:10. ~window:(0., 2.) ~seed:1 ()
+  in
+  Alcotest.(check (list int)) "only loop members affected" [ 1; 2 ]
+    (Traffic.Per_source.affected per_source);
+  let stats_of v =
+    List.find (fun (s : Traffic.Per_source.stats) -> s.src = v) per_source
+  in
+  Alcotest.(check (float 1e-9)) "node 3 clean" 0.
+    (Traffic.Per_source.looping_ratio (stats_of 3));
+  Alcotest.(check (float 1e-9)) "node 1 fully looped" 1.
+    (Traffic.Per_source.looping_ratio (stats_of 1))
+
+let test_per_source_footnote4_b_clique () =
+  (* The paper's footnote 4: in a B-Clique T_long (failing link (n,0)),
+     chain nodes 2..n/2 are not affected and their packets never
+     encounter a loop. *)
+  let n = 6 in
+  let spec =
+    {
+      (Bgpsim.Experiment.default_spec (Bgpsim.Experiment.B_clique n)) with
+      event = Bgpsim.Experiment.Tlong;
+      mrai = 15.;
+    }
+  in
+  let run = Bgpsim.Experiment.run spec in
+  let fib = Netcore.Trace.fib run.outcome.trace in
+  let per_source =
+    Traffic.Per_source.run ~fib ~origin:0 ~n:(2 * n) ~link_delay:0.002 ~ttl:128
+      ~rate:10.
+      ~window:(run.outcome.t_fail, run.outcome.convergence_end)
+      ~seed:7 ()
+  in
+  let stats_of v =
+    List.find (fun (s : Traffic.Per_source.stats) -> s.src = v) per_source
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "chain node %d unaffected" v)
+        0 (stats_of v).exhausted)
+    [ 1; 2; 3 ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "traffic"
+    [
+      ( "forwarder",
+        [
+          tc "delivers along a chain" test_walk_delivers;
+          tc "zero-hop at origin" test_walk_at_origin;
+          tc "unreachable" test_walk_unreachable;
+          tc "loop exhausts TTL in 256 ms" test_walk_loop_exhausts_ttl;
+          tc "escapes a resolving loop" test_walk_escapes_resolving_loop;
+          tc "TTL boundary" test_walk_ttl_boundary;
+          tc "validation" test_walk_validation;
+        ] );
+      ( "replay",
+        [
+          tc "counts and rate" test_replay_counts_and_rate;
+          tc "looping window" test_replay_loop_window;
+          tc "ratio cutoff" test_replay_ratio_cutoff;
+          tc "source subset" test_replay_sources_subset;
+          tc "deterministic" test_replay_deterministic;
+          tc "empty window" test_replay_empty_window;
+          tc "validation" test_replay_validation;
+          tc "exhaustion times sorted" test_replay_exhaustion_times_sorted;
+          tc "fate time accessor" test_fate_time_accessor;
+          tc "sparse rate" test_replay_sparse_rate;
+        ] );
+      ( "per-source",
+        [
+          tc "totals match aggregate replay" test_per_source_totals_match_replay;
+          tc "identifies affected sources" test_per_source_identifies_affected;
+          tc "paper footnote 4 on b-clique" test_per_source_footnote4_b_clique;
+        ] );
+    ]
