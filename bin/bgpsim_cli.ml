@@ -81,12 +81,7 @@ let topology_arg =
            glp:N, or file:PATH (edge list with an 'n <nodes>' header; node 0 \
            is the destination).")
 
-let event_name = function
-  | Bgpsim.Experiment.Tdown -> "tdown"
-  | Bgpsim.Experiment.Tlong | Bgpsim.Experiment.Tlong_link _ -> "tlong"
-  | Bgpsim.Experiment.Tup -> "tup"
-  | Bgpsim.Experiment.Trecover | Bgpsim.Experiment.Trecover_link _ ->
-      "trecover"
+let event_name = Bgpsim.Experiment.event_name
 
 let event_arg =
   let event =
@@ -126,13 +121,72 @@ let seeds_arg =
     & info [ "seeds" ] ~docv:"N"
         ~doc:"Number of seeds to average over (seed, seed+1, ...).")
 
-let spec_of topology event enhancement mrai seed =
+let scenario_conv =
+  let parse s =
+    match Faults.Scenario.of_string s with
+    | Ok sc -> Ok sc
+    | Error msg -> Error (`Msg ("bad scenario: " ^ msg))
+  in
+  Arg.conv (parse, Faults.Scenario.pp)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (some scenario_conv) None
+    & info [ "scenario" ] ~docv:"SCRIPT"
+        ~doc:
+          "Scripted fault schedule overriding --event; semicolon-separated \
+           clauses: fail@T:a-b, recover@T:a-b, reset@T:a-b, crash@T:n, \
+           restart@T:n, storm@T:a-b,PERIOD,COUNT, corr@T:a-b+c-d[,RECOVER], \
+           rand@COUNT:WINDOW[,RECOVER], loss=P, dup=P.  Times are seconds \
+           after the injection instant.")
+
+let invariants_arg =
+  let mode =
+    Arg.enum
+      (List.map
+         (fun m -> (Faults.Invariant.mode_name m, m))
+         [ Faults.Invariant.Off; Faults.Invariant.Record; Faults.Invariant.Strict ])
+  in
+  Arg.(
+    value & opt mode Faults.Invariant.Off
+    & info [ "invariants" ] ~docv:"MODE"
+        ~doc:
+          "Runtime invariant checking: off, record (count violations into \
+           the metrics) or strict (abort the run on the first violation).")
+
+let max_events_arg =
+  Arg.(
+    value & opt int 20_000_000
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:
+          "Per-run event budget; a run that exceeds it is reported as \
+           non-converged instead of hanging.")
+
+let max_vtime_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-vtime" ] ~docv:"SECONDS"
+        ~doc:"Per-run virtual-time budget (default: unbounded).")
+
+let spec_of ?scenario ?(invariants = Faults.Invariant.Off)
+    ?(max_events = 20_000_000) ?max_vtime topology event enhancement mrai seed
+    =
+  let event =
+    match scenario with
+    | Some sc -> Bgpsim.Experiment.Scenario sc
+    | None -> event
+  in
   {
     (Bgpsim.Experiment.default_spec topology) with
     event;
     enhancement;
     mrai;
     seed;
+    invariants;
+    max_events;
+    max_vtime;
   }
 
 let seed_list ~seed ~seeds = List.init (Stdlib.max 1 seeds) (fun i -> seed + i)
@@ -140,18 +194,32 @@ let seed_list ~seed ~seeds = List.init (Stdlib.max 1 seeds) (fun i -> seed + i)
 (* --- run --- *)
 
 let run_cmd =
-  let action topology event enhancement mrai seed seeds =
-    let spec = spec_of topology event enhancement mrai seed in
-    let m = Bgpsim.Sweep.over_seeds spec ~seeds:(seed_list ~seed ~seeds) in
-    Format.printf "%s  event=%s  enhancement=%a  mrai=%gs  seeds=%d@.@.%a@."
+  let action topology event scenario invariants max_events max_vtime
+      enhancement mrai seed seeds =
+    let spec =
+      spec_of ?scenario ~invariants ~max_events ?max_vtime topology event
+        enhancement mrai seed
+    in
+    let robust =
+      Bgpsim.Sweep.over_seeds_robust spec ~seeds:(seed_list ~seed ~seeds)
+    in
+    Format.printf "%s  event=%s  enhancement=%a  mrai=%gs  seeds=%d@."
       (Bgpsim.Experiment.topology_name topology)
-      (event_name event) Bgp.Enhancement.pp enhancement mrai seeds
-      Metrics.Run_metrics.pp m
+      (event_name spec.event) Bgp.Enhancement.pp enhancement mrai seeds;
+    (match robust.metrics with
+    | Some m -> Format.printf "@.%a@." Metrics.Run_metrics.pp m
+    | None -> Format.printf "@.no run completed@.");
+    if robust.non_converged > 0 then
+      Format.printf "@.%d of %d run(s) hit a budget (non-converged)@."
+        robust.non_converged robust.completed;
+    if robust.failures <> [] then
+      Format.printf "@.%s@." (Bgpsim.Sweep.failures_table robust.failures)
   in
   let term =
     Term.(
-      const action $ topology_arg $ event_arg $ enhancement_arg $ mrai_arg
-      $ seed_arg $ seeds_arg)
+      const action $ topology_arg $ event_arg $ scenario_arg $ invariants_arg
+      $ max_events_arg $ max_vtime_arg $ enhancement_arg $ mrai_arg $ seed_arg
+      $ seeds_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one failure scenario and print its metrics")

@@ -9,6 +9,8 @@ type outcome = {
   victim_messages : int;
   background_messages : int;
   converged : bool;
+  termination : Routing_sim.termination;
+  invariant_violations : (Faults.Invariant.kind * int) list;
 }
 
 let convergence_time o = o.victim_convergence_end -. o.t_fail
@@ -18,7 +20,8 @@ let failure_gap = 10.
 let link_key a b = if a < b then (a, b) else (b, a)
 
 let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
-    ?(max_events = 40_000_000) ~graph ~origins ~victim ~seed () =
+    ?(max_events = 40_000_000) ?max_vtime
+    ?(invariants = Faults.Invariant.Off) ~graph ~origins ~victim ~seed () =
   Netcore.Params.validate params;
   Config.validate config;
   let n = Topo.Graph.n_nodes graph in
@@ -45,15 +48,31 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
   | None -> ());
   if not (Topo.Graph.is_connected graph) then
     invalid_arg "Multi_sim.run: graph must be connected";
+  if max_events <= 0 then
+    invalid_arg "Multi_sim.run: max_events must be positive";
+  (match max_vtime with
+  | Some t when t <= 0. || Float.is_nan t ->
+      invalid_arg "Multi_sim.run: max_vtime must be positive"
+  | Some _ | None -> ());
   let engine = Dessim.Engine.create () in
+  let checker = Faults.Invariant.create invariants in
+  if Faults.Invariant.enabled checker then
+    Dessim.Engine.set_clock_monitor engine (fun ~old_time ~new_time ->
+        if new_time < old_time then
+          Faults.Invariant.report checker Faults.Invariant.Clock_regression
+            ~detail:(fun () ->
+              Printf.sprintf "event at %g fired with clock at %g" new_time
+                old_time));
   let trace = Netcore.Trace.create ~n in
   let root_rng = Dessim.Rng.create ~seed in
   let proc_rng = Dessim.Rng.split root_rng ~label:"proc" in
   let links = Hashtbl.create (Topo.Graph.n_edges graph) in
   List.iter
     (fun (a, b) ->
-      Hashtbl.add links (link_key a b)
-        (Netcore.Link.create ~a ~b ~delay:params.link_delay))
+      let link = Netcore.Link.create ~a ~b ~delay:params.link_delay in
+      if Faults.Invariant.enabled checker then
+        Netcore.Link.attach_checker link checker;
+      Hashtbl.add links (link_key a b) link)
     (Topo.Graph.edges graph);
   let node_procs = Array.init n (fun _ -> Netcore.Node_proc.create ()) in
   let speakers = Array.make n None in
@@ -108,7 +127,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     let rng = Dessim.Rng.split root_rng ~label:("speaker-" ^ string_of_int i) in
     speakers.(i) <-
       Some
-        (Speaker.create ~engine ~config ~rng ~node:i
+        (Speaker.create ~checker ~engine ~config ~rng ~node:i
            ~peers:(Topo.Graph.neighbors graph i)
            ~emit:(emit_from i)
            ~on_next_hop_change:(on_next_hop_change_for i)
@@ -123,7 +142,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
       in
       ())
     origins prefix_list;
-  Dessim.Engine.run ~max_events engine;
+  Dessim.Engine.run ?until:max_vtime ~max_events engine;
   let warmup_drained = Dessim.Engine.events_executed engine < max_events in
   let t_fail = Dessim.Engine.now engine +. failure_gap in
   t_fail_ref := t_fail;
@@ -155,10 +174,16 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
             ()
           done)
         c.flappers);
-  Dessim.Engine.run ~max_events engine;
-  let converged =
-    warmup_drained && Dessim.Engine.events_executed engine < max_events
+  Dessim.Engine.run ?until:max_vtime ~max_events engine;
+  let termination =
+    if Dessim.Engine.events_executed engine >= max_events then
+      Routing_sim.Event_budget
+    else
+      match Dessim.Engine.next_live_time engine with
+      | Some _ -> Routing_sim.Vtime_budget
+      | None -> Routing_sim.Drained
   in
+  let converged = warmup_drained && termination = Routing_sim.Drained in
   {
     prefixes = fibs;
     trace;
@@ -169,4 +194,6 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     victim_messages = !victim_msgs;
     background_messages = !background_msgs;
     converged;
+    termination;
+    invariant_violations = Faults.Invariant.violations checker;
   }

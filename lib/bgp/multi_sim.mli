@@ -35,6 +35,8 @@ type outcome = {
   victim_messages : int;
   background_messages : int;
   converged : bool;
+  termination : Routing_sim.termination;  (** how the post-failure phase ended *)
+  invariant_violations : (Faults.Invariant.kind * int) list;
 }
 
 val convergence_time : outcome -> float
@@ -44,6 +46,8 @@ val run :
   ?config:Config.t ->
   ?churn:churn ->
   ?max_events:int ->
+  ?max_vtime:float ->
+  ?invariants:Faults.Invariant.mode ->
   graph:Topo.Graph.t ->
   origins:int list ->
   victim:int ->

@@ -33,6 +33,21 @@ type event =
       (** a link flap (Labovitz et al.'s T_short): link [(a,b)] fails
           at the event time and recovers [down_for] seconds later,
           while the network is still converging around the failure *)
+  | Scenario of Faults.Scenario.t
+      (** a scripted fault schedule (link fail/recover sequences, node
+          crash/restart with RIB loss, session resets, flap storms,
+          correlated failures, message chaos), compiled onto the event
+          queue at the injection instant; step times are relative to
+          [t_fail] and chaos knobs arm at [t_fail], keeping warm-up
+          clean *)
+
+(** Why the run stopped. *)
+type termination =
+  | Drained  (** the event queue emptied: the network converged *)
+  | Event_budget  (** [max_events] fired first — a would-be hang *)
+  | Vtime_budget  (** the next event lies beyond [max_vtime] *)
+
+val termination_name : termination -> string
 
 type outcome = {
   trace : Netcore.Trace.t;
@@ -41,12 +56,17 @@ type outcome = {
   convergence_end : float;
       (** time the last post-failure message was sent; [t_fail] when the
           event generated no messages *)
-  converged : bool;  (** the event queue drained within the event budget *)
+  converged : bool;
+      (** both phases drained within the event and virtual-time budgets *)
+  termination : termination;  (** how phase 2 ended *)
   warmup_end : float;
   updates_after_fail : int;  (** announcements sent at/after [t_fail] *)
   withdrawals_after_fail : int;
   events_executed : int;
   route_changes : int;  (** total best-route changes across all speakers *)
+  invariant_violations : (Faults.Invariant.kind * int) list;
+      (** nonzero counters from the run's invariant checker (always []
+          when [invariants] is [Off] or [Strict] — strict raises) *)
 }
 
 val convergence_time : outcome -> float
@@ -56,6 +76,8 @@ val run :
   ?params:Netcore.Params.t ->
   ?config:Config.t ->
   ?max_events:int ->
+  ?max_vtime:float ->
+  ?invariants:Faults.Invariant.mode ->
   graph:Topo.Graph.t ->
   origin:int ->
   event:event ->
@@ -64,6 +86,16 @@ val run :
   outcome
 (** [run ~graph ~origin ~event ~seed ()] simulates the scenario.
     Defaults: the paper's {!Netcore.Params.default} and {!Config.default}
-    (standard BGP, MRAI 30 s), [max_events = 20_000_000].
+    (standard BGP, MRAI 30 s), [max_events = 20_000_000], no virtual-time
+    budget, invariants [Off].
+
+    [max_events] and [max_vtime] are hang protection: a non-terminating
+    schedule (e.g. a persistent flap storm faster than convergence)
+    stops at the budget with [termination <> Drained] instead of
+    spinning.  [invariants] threads a {!Faults.Invariant.t} through the
+    engine clock, every link delivery and every speaker decision;
+    [Strict] raises {!Faults.Invariant.Violation} on the first breach,
+    [Record] counts into [invariant_violations].
     @raise Invalid_argument if [origin] is out of range, the graph is
-    not connected, or a [Tlong] link does not exist. *)
+    not connected, an event link does not exist, or a scenario fails
+    validation. *)

@@ -21,21 +21,26 @@ type t = {
   engine : Dessim.Engine.t;
   config : Config.t;
   rng : Dessim.Rng.t;
+  checker : Faults.Invariant.t;
   mutable live_peers : int list;
+  mutable alive : bool;
   emit : peer:int -> Msg.t -> unit;
   on_next_hop_change : prefix:Prefix.t -> next_hop:int option -> unit;
   dests : (Prefix.t, dest_state) Hashtbl.t;
   mutable route_changes : int;
 }
 
-let create ~engine ~config ~rng ~node ~peers ~emit ~on_next_hop_change () =
+let create ?(checker = Faults.Invariant.off) ~engine ~config ~rng ~node ~peers
+    ~emit ~on_next_hop_change () =
   Config.validate config;
   {
     node;
     engine;
     config;
     rng;
+    checker;
     live_peers = List.sort_uniq compare peers;
+    alive = true;
     emit;
     on_next_hop_change;
     dests = Hashtbl.create 4;
@@ -203,16 +208,47 @@ let sync_peer t st peer =
       if t.config.wrate then Mrai.offer out.mrai withdrawal
       else Mrai.send_now out.mrai ~keep_pending:false withdrawal
 
+(* Runtime invariants of the decision process, re-verified after every
+   mutation when a checker is armed: the Loc-RIB best is always drawn
+   from the Adj-RIB-In (or is the local route), and its next hop is a
+   live peer. *)
+let check_rib_coherence t st =
+  if Faults.Invariant.enabled t.checker then
+    match st.best with
+    | None -> ()
+    | Some { learned_from = None; _ } ->
+        if not st.local then
+          Faults.Invariant.report t.checker Faults.Invariant.Rib_incoherence
+            ~detail:(fun () ->
+              Printf.sprintf "node %d: best is local but no local route"
+                t.node)
+    | Some { learned_from = Some peer; path } ->
+        (match Hashtbl.find_opt st.rib_in peer with
+        | Some rib_path when As_path.equal rib_path path -> ()
+        | Some _ | None ->
+            Faults.Invariant.report t.checker Faults.Invariant.Rib_incoherence
+              ~detail:(fun () ->
+                Printf.sprintf
+                  "node %d: Loc-RIB best via peer %d is not the Adj-RIB-In \
+                   entry"
+                  t.node peer));
+        if not (List.mem peer t.live_peers) then
+          Faults.Invariant.report t.checker Faults.Invariant.Dead_next_hop
+            ~detail:(fun () ->
+              Printf.sprintf "node %d: next hop %d is not a live peer" t.node
+                peer)
+
 let recompute t st =
   let new_best = best_candidate t st in
-  if not (equal_best st.best new_best) then begin
+  (if not (equal_best st.best new_best) then begin
     let old_nh = next_hop_of st.best and new_nh = next_hop_of new_best in
     st.best <- new_best;
     t.route_changes <- t.route_changes + 1;
     if old_nh <> new_nh then
       t.on_next_hop_change ~prefix:st.prefix ~next_hop:new_nh;
     List.iter (sync_peer t st) t.live_peers
-  end
+  end);
+  check_rib_coherence t st
 
 (* --- Assertion enhancement (Pei et al.): when [speaker] declares its
    path to be [latest] (None = no route), any entry from another peer
@@ -269,25 +305,43 @@ let rec schedule_reuse t st =
 (* --- external events --- *)
 
 let originate t prefix =
-  let st = dest_state t prefix in
-  if not st.local then begin
-    st.local <- true;
-    recompute t st
-  end
+  if t.alive then
+    let st = dest_state t prefix in
+    if not st.local then begin
+      st.local <- true;
+      recompute t st
+    end
 
 let withdraw_local t prefix =
-  let st = dest_state t prefix in
-  if st.local then begin
-    st.local <- false;
-    recompute t st
-  end
+  if t.alive then
+    let st = dest_state t prefix in
+    if st.local then begin
+      st.local <- false;
+      recompute t st
+    end
+
+(* Poison-reverse soundness: after any Adj-RIB-In mutation for [from],
+   the stored entry must not contain this AS.  True by construction
+   (the replace above filters such paths); the checker re-verifies it
+   at runtime. *)
+let check_poison_reverse t st ~from =
+  if Faults.Invariant.enabled t.checker then
+    match Hashtbl.find_opt st.rib_in from with
+    | Some path when As_path.contains path t.node ->
+        Faults.Invariant.report t.checker Faults.Invariant.Poison_reverse
+          ~detail:(fun () ->
+            Printf.sprintf
+              "node %d: Adj-RIB-In entry from peer %d routes through self"
+              t.node from)
+    | Some _ | None -> ()
 
 let handle_msg t ~from msg =
   (* A message can still be sitting in the node's processing queue when
-     the session it arrived over dies; by then its content is void (the
-     peer's routes were flushed at teardown and no withdrawal will ever
-     follow), so late deliveries from dead peers are dropped. *)
-  if not (List.mem from t.live_peers) then ()
+     the session it arrived over dies (or the node itself crashes); by
+     then its content is void (the peer's routes were flushed at
+     teardown and no withdrawal will ever follow), so late deliveries
+     from dead peers — or to dead nodes — are dropped. *)
+  if not (t.alive && List.mem from t.live_peers) then ()
   else
     match (msg : Msg.t) with
   | Announce { prefix; path } ->
@@ -302,6 +356,7 @@ let handle_msg t ~from msg =
       else Hashtbl.replace st.rib_in from path;
       if t.config.assertion then
         assertion_purge st ~speaker:from ~latest:(Some path);
+      check_poison_reverse t st ~from;
       recompute t st;
       schedule_reuse t st
   | Withdraw { prefix } ->
@@ -333,11 +388,41 @@ let session_down t ~peer =
   end
 
 let session_up t ~peer =
-  if not (List.mem peer t.live_peers) then begin
+  if t.alive && not (List.mem peer t.live_peers) then begin
     t.live_peers <- List.sort compare (peer :: t.live_peers);
     (* table dump: the fresh peer hears every best route we hold *)
     Hashtbl.iter (fun _prefix st -> sync_peer t st peer) t.dests
   end
+
+(* --- crash / restart with RIB loss --- *)
+
+let alive t = t.alive
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.live_peers <- [];
+    (* all protocol state is lost: pending MRAI transmissions and
+       damping reuse timers must not fire for a dead node *)
+    Hashtbl.iter
+      (fun _prefix st ->
+        Hashtbl.iter (fun _peer out -> Mrai.reset out.mrai) st.outs;
+        Option.iter Dessim.Engine.cancel st.reuse_timer;
+        (* the FIB empties with the RIB *)
+        if st.best <> None then begin
+          t.route_changes <- t.route_changes + 1;
+          if next_hop_of st.best <> None then
+            t.on_next_hop_change ~prefix:st.prefix ~next_hop:None
+        end)
+      t.dests;
+    Hashtbl.reset t.dests
+  end
+
+let restart t =
+  (* The node comes back with empty RIBs and no sessions; the
+     surrounding simulation re-establishes sessions (session_up on both
+     ends per surviving link) and re-originates local prefixes. *)
+  if not t.alive then t.alive <- true
 
 (* --- inspection --- *)
 

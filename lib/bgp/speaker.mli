@@ -22,6 +22,7 @@
 type t
 
 val create :
+  ?checker:Faults.Invariant.t ->
   engine:Dessim.Engine.t ->
   config:Config.t ->
   rng:Dessim.Rng.t ->
@@ -35,7 +36,12 @@ val create :
     (or drop) the message; it is called at the virtual time the message
     leaves.  [on_next_hop_change] fires whenever the forwarding next hop
     for a prefix changes ([None] = no route; the origin's own prefix
-    also reports [None] since packets terminate there). *)
+    also reports [None] since packets terminate there).
+
+    [checker] (default {!Faults.Invariant.off}) receives runtime
+    invariant reports: Loc-RIB/Adj-RIB-In coherence and next-hop
+    liveness after every decision, poison-reverse soundness after every
+    Adj-RIB-In mutation. *)
 
 val node : t -> int
 
@@ -59,7 +65,25 @@ val session_down : t -> peer:int -> unit
 val session_up : t -> peer:int -> unit
 (** A (new or recovered) session to [peer] established: start with an
     empty Adj-RIB-In for it and advertise our current best routes, as a
-    real BGP speaker dumps its table to a fresh peer.  Idempotent. *)
+    real BGP speaker dumps its table to a fresh peer.  Idempotent;
+    ignored while the speaker is crashed. *)
+
+(** {2 Crash / restart} *)
+
+val alive : t -> bool
+
+val crash : t -> unit
+(** The node dies losing all protocol state: every RIB entry, pending
+    MRAI transmission and damping timer is gone, all sessions drop (the
+    surrounding simulation must also [session_down] the surviving
+    peers), and the node's FIB empties.  Messages delivered while
+    crashed are dropped.  Idempotent. *)
+
+val restart : t -> unit
+(** The crashed node boots back up with empty RIBs and no sessions.
+    The surrounding simulation re-establishes sessions ({!session_up}
+    on both ends of each surviving link) and re-originates local
+    prefixes.  A no-op on a live node. *)
 
 (** {2 Inspection} *)
 

@@ -13,6 +13,7 @@ type event_spec =
   | Tup
   | Trecover
   | Trecover_link of int * int
+  | Scenario of Faults.Scenario.t
 
 type spec = {
   topology : topology;
@@ -22,6 +23,9 @@ type spec = {
   seed : int;
   params : Netcore.Params.t;
   replay_tail : float;
+  invariants : Faults.Invariant.mode;
+  max_events : int;
+  max_vtime : float option;
 }
 
 let default_spec topology =
@@ -33,7 +37,17 @@ let default_spec topology =
     seed = 1;
     params = Netcore.Params.default;
     replay_tail = 2.;
+    invariants = Faults.Invariant.Off;
+    max_events = 20_000_000;
+    max_vtime = None;
   }
+
+let event_name = function
+  | Tdown -> "tdown"
+  | Tlong | Tlong_link _ -> "tlong"
+  | Tup -> "tup"
+  | Trecover | Trecover_link _ -> "trecover"
+  | Scenario s -> "scenario:" ^ Faults.Scenario.name s
 
 let topology_name = function
   | Clique n -> Printf.sprintf "clique-%d" n
@@ -93,7 +107,7 @@ let resolve spec =
               List.filter
                 (fun v -> Topo.Graph.degree graph v = min_degree)
                 survivable
-          | Tdown | Tup | Tlong_link _ | Trecover_link _ -> stubs
+          | Tdown | Tup | Tlong_link _ | Trecover_link _ | Scenario _ -> stubs
         in
         if candidates = [] then
           invalid_arg "Experiment.resolve: no viable destination AS";
@@ -125,6 +139,9 @@ let resolve spec =
     | Trecover ->
         let a, b = canonical_link () in
         Bgp.Routing_sim.Trecover { a; b }
+    | Scenario s ->
+        Faults.Scenario.validate s ~graph;
+        Bgp.Routing_sim.Scenario s
   in
   (graph, origin, event)
 
@@ -136,12 +153,38 @@ type run = {
   metrics : Metrics.Run_metrics.t;
 }
 
+type status =
+  | Completed
+  | Non_converged of {
+      termination : Bgp.Routing_sim.termination;
+      events_executed : int;
+      last_vtime : float;
+    }
+
+let status (outcome : Bgp.Routing_sim.outcome) =
+  if outcome.converged then Completed
+  else
+    Non_converged
+      {
+        termination = outcome.termination;
+        events_executed = outcome.events_executed;
+        last_vtime = outcome.convergence_end;
+      }
+
+let status_name = function
+  | Completed -> "completed"
+  | Non_converged { termination; events_executed; last_vtime } ->
+      Printf.sprintf "non-converged (%s after %d events, vtime %.1f)"
+        (Bgp.Routing_sim.termination_name termination)
+        events_executed last_vtime
+
 let run spec =
   let graph, origin, event = resolve spec in
   let config = Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement in
   let outcome =
-    Bgp.Routing_sim.run ~params:spec.params ~config ~graph ~origin ~event
-      ~seed:spec.seed ()
+    Bgp.Routing_sim.run ~params:spec.params ~config
+      ~max_events:spec.max_events ?max_vtime:spec.max_vtime
+      ~invariants:spec.invariants ~graph ~origin ~event ~seed:spec.seed ()
   in
   let fib = Netcore.Trace.fib outcome.trace in
   let window_end = outcome.convergence_end +. spec.replay_tail in

@@ -35,6 +35,9 @@ type event_spec =
       (** inverse of [Tlong]: the canonical link comes back after the
           network converged without it (extension) *)
   | Trecover_link of int * int
+  | Scenario of Faults.Scenario.t
+      (** a scripted fault schedule (see {!Faults.Scenario});
+          destination selection follows the [Tdown] convention *)
 
 type spec = {
   topology : topology;
@@ -48,13 +51,21 @@ type spec = {
           loops that outlive the last sent message; the looping-ratio
           denominator still counts only packets sent during
           convergence *)
+  invariants : Faults.Invariant.mode;
+      (** runtime invariant checking for the routing simulation *)
+  max_events : int;  (** per-run event budget (hang protection) *)
+  max_vtime : float option;
+      (** per-run virtual-time budget; [None] = unbounded *)
 }
 
 val default_spec : topology -> spec
 (** [T_down], standard BGP, MRAI 30 s, seed 1, paper parameters,
-    2 s replay tail. *)
+    2 s replay tail, invariants off, 20 M event budget, no
+    virtual-time budget. *)
 
 val topology_name : topology -> string
+
+val event_name : event_spec -> string
 
 val node_count : topology -> int
 
@@ -65,6 +76,21 @@ val resolve :
     @raise Invalid_argument on specs that cannot be realized (e.g.
     [Tlong] on a topology where every candidate link disconnects the
     destination). *)
+
+(** Structured convergence status of a finished run: a run that hit an
+    event or virtual-time budget is reported as [Non_converged] instead
+    of hanging forever. *)
+type status =
+  | Completed
+  | Non_converged of {
+      termination : Bgp.Routing_sim.termination;
+      events_executed : int;
+      last_vtime : float;
+    }
+
+val status : Bgp.Routing_sim.outcome -> status
+
+val status_name : status -> string
 
 type run = {
   spec : spec;

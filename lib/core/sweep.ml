@@ -17,3 +17,62 @@ let over_seeds_summary spec ~seeds ~metric =
 let linearity points ~x ~y =
   Stats.Linear_fit.fit
     (Array.of_list (List.map (fun (px, m) -> (x px, y m)) points))
+
+(* --- error-isolating sweeps --- *)
+
+type run_failure = { seed : int; scenario : string; message : string }
+
+type robust = {
+  metrics : Metrics.Run_metrics.t option;
+  attempted : int;
+  completed : int;
+  non_converged : int;
+  failures : run_failure list;
+}
+
+let describe_spec (spec : Experiment.spec) =
+  Printf.sprintf "%s/%s"
+    (Experiment.topology_name spec.topology)
+    (Experiment.event_name spec.event)
+
+let over_seeds_robust spec ~seeds =
+  if seeds = [] then invalid_arg "Sweep.over_seeds_robust: empty seed list";
+  let results =
+    List.map
+      (fun seed ->
+        let spec = { spec with Experiment.seed } in
+        match Experiment.run spec with
+        | run -> Ok run.Experiment.metrics
+        | exception exn ->
+            Error
+              {
+                seed;
+                scenario = describe_spec spec;
+                message = Printexc.to_string exn;
+              })
+      seeds
+  in
+  let ok = List.filter_map Result.to_option results in
+  {
+    metrics = (if ok = [] then None else Some (Metrics.Run_metrics.mean ok));
+    attempted = List.length seeds;
+    completed = List.length ok;
+    non_converged =
+      List.length
+        (List.filter (fun (m : Metrics.Run_metrics.t) -> not m.converged) ok);
+    failures =
+      List.filter_map
+        (function Error f -> Some f | Ok _ -> None)
+        results;
+  }
+
+let series_robust ~make ~seeds xs =
+  List.map (fun x -> (x, over_seeds_robust (make x) ~seeds)) xs
+
+let failures_table failures =
+  Report.table ~title:"failed runs"
+    ~header:[ "seed"; "scenario"; "error" ]
+    ~rows:
+      (List.map
+         (fun f -> [ string_of_int f.seed; f.scenario; f.message ])
+         failures)

@@ -36,3 +36,42 @@ val linearity :
   Stats.Linear_fit.t
 (** Least-squares check of the paper's "linearly proportional"
     observations over a sweep. *)
+
+(** {2 Error-isolating sweeps}
+
+    A large batch must survive individual bad runs: a mis-specified
+    scenario, a strict-mode invariant violation or any other exception
+    in one (spec, seed) pair is recorded and the batch keeps going,
+    instead of one run aborting hours of sweep. *)
+
+type run_failure = {
+  seed : int;
+  scenario : string;  (** "topology/event" of the failing spec *)
+  message : string;  (** [Printexc.to_string] of the escaped exception *)
+}
+
+type robust = {
+  metrics : Metrics.Run_metrics.t option;
+      (** mean over the completed runs; [None] if every run failed *)
+  attempted : int;
+  completed : int;
+  non_converged : int;
+      (** completed runs that hit an event/virtual-time budget (still
+          averaged into [metrics], flagged so the reader can discount
+          them) *)
+  failures : run_failure list;
+}
+
+val over_seeds_robust : Experiment.spec -> seeds:int list -> robust
+(** Like {!over_seeds}, but exceptions are isolated per run.
+    @raise Invalid_argument on an empty seed list. *)
+
+val series_robust :
+  make:('x -> Experiment.spec) ->
+  seeds:int list ->
+  'x list ->
+  ('x * robust) list
+
+val failures_table : run_failure list -> string
+(** {!Report.table} rendering of the failed runs (seed, scenario,
+    error). *)

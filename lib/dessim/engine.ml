@@ -6,10 +6,18 @@ type t = {
   queue : event Event_queue.t;
   mutable clock : float;
   mutable executed : int;
+  mutable clock_monitor : (old_time:float -> new_time:float -> unit) option;
 }
 
 let create ?(now = 0.) () =
-  { queue = Event_queue.create (); clock = now; executed = 0 }
+  {
+    queue = Event_queue.create ();
+    clock = now;
+    executed = 0;
+    clock_monitor = None;
+  }
+
+let set_clock_monitor t f = t.clock_monitor <- Some f
 
 let now t = t.clock
 
@@ -40,6 +48,9 @@ let rec step t =
       | `Cancelled -> step t
       | `Fired -> assert false
       | `Pending ->
+          (match t.clock_monitor with
+          | Some f -> f ~old_time:t.clock ~new_time:time
+          | None -> ());
           t.clock <- time;
           ev.handle.state <- `Fired;
           t.executed <- t.executed + 1;
@@ -62,5 +73,17 @@ let run ?until ?max_events t =
   loop ()
 
 let pending t = Event_queue.size t.queue
+
+(* Earliest live (non-cancelled) event time.  Cancelled heads are dead
+   weight; popping them here is observationally a no-op. *)
+let rec next_live_time t =
+  match Event_queue.peek t.queue with
+  | None -> None
+  | Some (time, ev) ->
+      if ev.handle.state = `Cancelled then begin
+        ignore (Event_queue.pop t.queue : (float * event) option);
+        next_live_time t
+      end
+      else Some time
 
 let events_executed t = t.executed

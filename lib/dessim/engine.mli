@@ -41,5 +41,16 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 val pending : t -> int
 (** Number of queued events, including cancelled ones not yet skipped. *)
 
+val next_live_time : t -> float option
+(** Timestamp of the earliest non-cancelled queued event, or [None] when
+    no live event remains.  Discards cancelled events found at the head
+    of the queue (observationally a no-op). *)
+
+val set_clock_monitor : t -> (old_time:float -> new_time:float -> unit) -> unit
+(** Installs a hook called immediately before each clock advance, with
+    the clock's current value and the fired event's timestamp.  Used by
+    runtime invariant checkers to verify timestamp monotonicity from the
+    outside; the engine itself already enforces it structurally. *)
+
 val events_executed : t -> int
 (** Total live events executed since creation. *)

@@ -74,3 +74,6 @@ let pop t =
   end
 
 let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let peek t =
+  if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).item)

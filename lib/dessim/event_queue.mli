@@ -19,3 +19,6 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest item, without removing it. *)
+
+val peek : 'a t -> (float * 'a) option
+(** The earliest item, without removing it. *)

@@ -1,0 +1,77 @@
+type mode = Off | Record | Strict
+
+type kind =
+  | Clock_regression
+  | Stale_epoch_delivery
+  | Rib_incoherence
+  | Poison_reverse
+  | Dead_next_hop
+
+exception Violation of { kind : kind; detail : string }
+
+let all_kinds =
+  [
+    Clock_regression;
+    Stale_epoch_delivery;
+    Rib_incoherence;
+    Poison_reverse;
+    Dead_next_hop;
+  ]
+
+let kind_index = function
+  | Clock_regression -> 0
+  | Stale_epoch_delivery -> 1
+  | Rib_incoherence -> 2
+  | Poison_reverse -> 3
+  | Dead_next_hop -> 4
+
+let kind_name = function
+  | Clock_regression -> "clock-regression"
+  | Stale_epoch_delivery -> "stale-epoch-delivery"
+  | Rib_incoherence -> "rib-incoherence"
+  | Poison_reverse -> "poison-reverse"
+  | Dead_next_hop -> "dead-next-hop"
+
+type t = { mode : mode; counts : int array }
+
+let create mode = { mode; counts = Array.make (List.length all_kinds) 0 }
+
+let off = create Off
+
+let mode t = t.mode
+
+let enabled t = t.mode <> Off
+
+let report t kind ~detail =
+  match t.mode with
+  | Off -> ()
+  | Record -> t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1
+  | Strict -> raise (Violation { kind; detail = detail () })
+
+let count t kind = t.counts.(kind_index kind)
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let violations t =
+  List.filter_map
+    (fun k ->
+      let c = count t k in
+      if c > 0 then Some (k, c) else None)
+    all_kinds
+
+let mode_name = function Off -> "off" | Record -> "record" | Strict -> "strict"
+
+let mode_of_string = function
+  | "off" -> Some Off
+  | "record" -> Some Record
+  | "strict" -> Some Strict
+  | _ -> None
+
+let pp fmt t =
+  match violations t with
+  | [] -> Format.fprintf fmt "invariants[%s]: clean" (mode_name t.mode)
+  | vs ->
+      Format.fprintf fmt "invariants[%s]:" (mode_name t.mode);
+      List.iter
+        (fun (k, c) -> Format.fprintf fmt " %s=%d" (kind_name k) c)
+        vs

@@ -1,0 +1,72 @@
+(** Runtime invariant checker threaded through the simulator's hot
+    paths.
+
+    Each check site evaluates a structural invariant of the simulation
+    (clock monotonicity, link-epoch freshness, RIB coherence, ...) and
+    calls {!report} when it is violated.  What happens then depends on
+    the checker's mode:
+
+    - [Strict]: raise {!Violation} immediately — for tests and
+      debugging, where a violated invariant means a simulator bug and
+      the run's results are void;
+    - [Record]: count the violation per kind (surfaced into
+      [Metrics.Run_metrics.t]) and keep running — for large sweeps
+      where one bad run must not abort the batch;
+    - [Off]: do nothing; check sites guard on {!enabled} so disabled
+      checking costs one branch. *)
+
+type mode = Off | Record | Strict
+
+type kind =
+  | Clock_regression
+      (** the event queue fired an event with a timestamp earlier than
+          the current clock *)
+  | Stale_epoch_delivery
+      (** a message crossed a link fail/recover boundary: delivered
+          under a different link epoch than it was sent under *)
+  | Rib_incoherence
+      (** a speaker's Loc-RIB best route is not drawn from its
+          Adj-RIB-In (nor a local route) *)
+  | Poison_reverse
+      (** a speaker's Adj-RIB-In holds a path containing the speaker
+          itself *)
+  | Dead_next_hop
+      (** a speaker installed a FIB next hop that is not a live peer *)
+
+exception Violation of { kind : kind; detail : string }
+
+type t
+
+val create : mode -> t
+
+val off : t
+(** A shared always-disabled checker; never accumulates state.  The
+    default at every integration point. *)
+
+val mode : t -> mode
+
+val enabled : t -> bool
+(** [mode t <> Off].  Check sites guard their (possibly costly)
+    invariant evaluation on this. *)
+
+val report : t -> kind -> detail:(unit -> string) -> unit
+(** Called at a check site when the invariant does NOT hold.  [Strict]:
+    raises {!Violation} with [detail ()]; [Record]: increments the
+    kind's counter; [Off]: no-op ([detail] is not forced). *)
+
+val count : t -> kind -> int
+
+val total : t -> int
+(** Violations recorded across all kinds. *)
+
+val violations : t -> (kind * int) list
+(** Nonzero counters, in declaration order of {!kind}. *)
+
+val kind_name : kind -> string
+
+val mode_name : mode -> string
+
+val mode_of_string : string -> mode option
+(** Recognizes ["off"], ["record"], ["strict"]. *)
+
+val pp : Format.formatter -> t -> unit

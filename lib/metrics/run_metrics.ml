@@ -16,6 +16,7 @@ type t = {
   loop_max_duration : float;
   max_concurrent_loops : int;
   converged : bool;
+  invariant_violations : int;
 }
 
 let make ~(outcome : Bgp.Routing_sim.outcome) ~(replay : Traffic.Replay.result)
@@ -39,6 +40,10 @@ let make ~(outcome : Bgp.Routing_sim.outcome) ~(replay : Traffic.Replay.result)
     loop_max_duration = agg.max_duration;
     max_concurrent_loops = loops.max_concurrent;
     converged = outcome.converged;
+    invariant_violations =
+      List.fold_left
+        (fun acc (_, c) -> acc + c)
+        0 outcome.invariant_violations;
   }
 
 let zero =
@@ -60,6 +65,7 @@ let zero =
     loop_max_duration = 0.;
     max_concurrent_loops = 0;
     converged = true;
+    invariant_violations = 0;
   }
 
 let mean = function
@@ -91,6 +97,7 @@ let mean = function
         loop_max_duration = favg (fun r -> r.loop_max_duration);
         max_concurrent_loops = iavg (fun r -> r.max_concurrent_loops);
         converged = List.for_all (fun r -> r.converged) runs;
+        invariant_violations = iavg (fun r -> r.invariant_violations);
       }
 
 let header =
@@ -113,10 +120,14 @@ let pp fmt t =
      route changes:            %d@,\
      loops (count/max size):   %d / %d@,\
      loop durations (mean/max): %.2f / %.2f s@,\
-     max concurrent loops:     %d@]"
+     max concurrent loops:     %d%t@]"
     t.convergence_time
     (if t.converged then "" else " (NOT CONVERGED)")
     t.overall_looping_duration t.ttl_exhaustions t.packets_sent
     t.looping_ratio t.packets_delivered t.packets_unreachable t.updates_sent
     t.withdrawals_sent t.route_changes t.loop_count t.loop_max_size
     t.loop_mean_duration t.loop_max_duration t.max_concurrent_loops
+    (fun fmt ->
+      if t.invariant_violations > 0 then
+        Format.fprintf fmt "@,invariant violations:     %d"
+          t.invariant_violations)

@@ -26,6 +26,9 @@ type t = {
   loop_max_duration : float;
   max_concurrent_loops : int;
   converged : bool;
+  invariant_violations : int;
+      (** total runtime-invariant violations recorded during the run
+          (0 unless the run's checker was in [Record] mode and fired) *)
 }
 
 val make :

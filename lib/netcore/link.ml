@@ -1,19 +1,48 @@
+type chaos = { loss : float; dup : float; rng : Dessim.Rng.t }
+
 type t = {
   a : int;
   b : int;
   delay : float;
   mutable up : bool;
   mutable epoch : int;
+  mutable chaos : chaos option;
+  mutable epoch_guard : bool;
+  mutable checker : Faults.Invariant.t;
 }
 
 let create ~a ~b ~delay =
   if delay <= 0. then invalid_arg "Link.create: delay <= 0";
   if a = b then invalid_arg "Link.create: self-link";
-  { a; b; delay; up = true; epoch = 0 }
+  {
+    a;
+    b;
+    delay;
+    up = true;
+    epoch = 0;
+    chaos = None;
+    epoch_guard = true;
+    checker = Faults.Invariant.off;
+  }
 
 let endpoints t = (t.a, t.b)
 
 let is_up t = t.up
+
+let epoch t = t.epoch
+
+let set_chaos t ?(loss = 0.) ?(dup = 0.) ~rng () =
+  let check what p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Link.set_chaos: %s outside [0, 1]" what)
+  in
+  check "loss" loss;
+  check "dup" dup;
+  t.chaos <- (if loss = 0. && dup = 0. then None else Some { loss; dup; rng })
+
+let set_epoch_guard t on = t.epoch_guard <- on
+
+let attach_checker t checker = t.checker <- checker
 
 let fail t =
   if t.up then begin
@@ -35,9 +64,35 @@ let send t ~engine ~from ~deliver =
   if not t.up then false
   else begin
     let sent_epoch = t.epoch in
-    let (_ : Dessim.Engine.handle) =
-      Dessim.Engine.schedule_after engine ~delay:t.delay (fun () ->
-          if t.up && t.epoch = sent_epoch then deliver ())
+    let arrival () =
+      if t.up then
+        if t.epoch = sent_epoch then deliver ()
+        else if not t.epoch_guard then begin
+          (* Fault-injection knob: the stale-epoch drop is disabled, so
+             the message crosses a fail/recover boundary — exactly what
+             the invariant checker exists to catch. *)
+          Faults.Invariant.report t.checker Stale_epoch_delivery
+            ~detail:(fun () ->
+              Printf.sprintf
+                "link (%d,%d): message sent at epoch %d delivered at epoch %d"
+                t.a t.b sent_epoch t.epoch);
+          deliver ()
+        end
     in
+    let copies =
+      match t.chaos with
+      | None -> 1
+      | Some { loss; dup; rng } ->
+          (* Fixed draw order (loss then dup) keeps runs reproducible. *)
+          let lost = loss > 0. && Dessim.Rng.float rng 1. < loss in
+          let duplicated = dup > 0. && Dessim.Rng.float rng 1. < dup in
+          if lost then 0 else if duplicated then 2 else 1
+    in
+    for _ = 1 to copies do
+      let (_ : Dessim.Engine.handle) =
+        Dessim.Engine.schedule_after engine ~delay:t.delay arrival
+      in
+      ()
+    done;
     true
   end

@@ -62,7 +62,7 @@ let test_resolve_internet_tlong_survivable () =
       Alcotest.(check bool) "graph survives" true
         (Topo.Graph.is_connected (Topo.Graph.remove_edge graph a b))
   | Bgp.Routing_sim.Tdown | Bgp.Routing_sim.Tup | Bgp.Routing_sim.Trecover _
-  | Bgp.Routing_sim.Tshort _ ->
+  | Bgp.Routing_sim.Tshort _ | Bgp.Routing_sim.Scenario _ ->
       Alcotest.fail "expected Tlong"
 
 let test_resolve_deterministic () =

@@ -200,6 +200,79 @@ let test_link_restore_uses_new_epoch () =
   (* the pre-failure message is lost, the post-restore one arrives *)
   Alcotest.(check int) "only fresh epoch" 1 !arrived
 
+let test_link_fail_idempotent () =
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:1. in
+  Netcore.Link.fail link;
+  Netcore.Link.fail link;
+  Alcotest.(check int) "double fail bumps epoch once" 1
+    (Netcore.Link.epoch link);
+  Alcotest.(check bool) "still down" false (Netcore.Link.is_up link);
+  Netcore.Link.restore link;
+  Netcore.Link.restore link;
+  Alcotest.(check int) "double restore bumps epoch once" 2
+    (Netcore.Link.epoch link);
+  Alcotest.(check bool) "up again" true (Netcore.Link.is_up link)
+
+let test_link_stale_epoch_dropped_across_flap () =
+  (* A message in flight across a full fail/recover cycle must not be
+     delivered: the link is up on arrival but the epoch moved on. *)
+  let engine = Dessim.Engine.create () in
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:1. in
+  let stale = ref false and fresh = ref false in
+  ignore
+    (Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () -> stale := true));
+  ignore
+    (Dessim.Engine.schedule engine ~at:0.1 (fun () -> Netcore.Link.fail link));
+  ignore
+    (Dessim.Engine.schedule engine ~at:0.2 (fun () ->
+         Netcore.Link.restore link;
+         ignore
+           (Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () ->
+                fresh := true))));
+  Dessim.Engine.run engine;
+  Alcotest.(check bool) "stale message dropped" false !stale;
+  Alcotest.(check bool) "fresh message delivered" true !fresh
+
+let test_link_epoch_guard_off_reports () =
+  (* With the guard disabled the stale message gets through, and the
+     attached checker records the violation. *)
+  let engine = Dessim.Engine.create () in
+  let link = Netcore.Link.create ~a:0 ~b:1 ~delay:1. in
+  let checker = Faults.Invariant.create Faults.Invariant.Record in
+  Netcore.Link.attach_checker link checker;
+  Netcore.Link.set_epoch_guard link false;
+  let stale = ref false in
+  ignore
+    (Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () -> stale := true));
+  ignore
+    (Dessim.Engine.schedule engine ~at:0.1 (fun () ->
+         Netcore.Link.fail link;
+         Netcore.Link.restore link));
+  Dessim.Engine.run engine;
+  Alcotest.(check bool) "stale message delivered" true !stale;
+  Alcotest.(check int) "violation recorded" 1
+    (Faults.Invariant.count checker Faults.Invariant.Stale_epoch_delivery)
+
+let test_link_chaos_loss_and_dup () =
+  let deliveries ~loss ~dup =
+    let engine = Dessim.Engine.create () in
+    let link = Netcore.Link.create ~a:0 ~b:1 ~delay:0.1 in
+    Netcore.Link.set_chaos link ~loss ~dup
+      ~rng:(Dessim.Rng.create ~seed:42) ();
+    let n = ref 0 in
+    for _ = 1 to 50 do
+      ignore (Netcore.Link.send link ~engine ~from:0 ~deliver:(fun () -> incr n))
+    done;
+    Dessim.Engine.run engine;
+    !n
+  in
+  Alcotest.(check int) "loss=1 drops all" 0 (deliveries ~loss:1. ~dup:0.);
+  Alcotest.(check int) "dup=1 doubles all" 100 (deliveries ~loss:0. ~dup:1.);
+  let a = deliveries ~loss:0.3 ~dup:0.2 in
+  let b = deliveries ~loss:0.3 ~dup:0.2 in
+  Alcotest.(check int) "same seed, same outcome" a b;
+  Alcotest.(check bool) "mixed chaos in range" true (a > 0 && a < 100)
+
 let test_link_rejects_non_endpoint () =
   let engine = Dessim.Engine.create () in
   let link = Netcore.Link.create ~a:0 ~b:1 ~delay:1. in
@@ -296,6 +369,11 @@ let () =
           tc "down link refuses" test_link_down_refuses_send;
           tc "in-flight loss on failure" test_link_drops_in_flight_on_failure;
           tc "restore gets fresh epoch" test_link_restore_uses_new_epoch;
+          tc "fail and restore idempotent" test_link_fail_idempotent;
+          tc "stale epoch dropped across flap"
+            test_link_stale_epoch_dropped_across_flap;
+          tc "epoch guard off reports violation" test_link_epoch_guard_off_reports;
+          tc "chaos loss and duplication" test_link_chaos_loss_and_dup;
           tc "rejects non-endpoint" test_link_rejects_non_endpoint;
         ] );
       ( "node-proc",

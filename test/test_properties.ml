@@ -26,6 +26,7 @@ type action =
   | Recv_announce of int * int list  (* peer index, tail of the path *)
   | Recv_withdraw of int
   | Peer_down of int
+  | Peer_up of int
 
 let action_gen ~peers =
   QCheck.Gen.(
@@ -45,6 +46,7 @@ let action_gen ~peers =
                (list_size (int_range 0 3) (int_range 90 110))) );
         (2, map (fun peer -> Recv_withdraw peer) (int_bound (peers - 1)));
         (1, map (fun peer -> Peer_down peer) (int_bound (peers - 1)));
+        (1, map (fun peer -> Peer_up peer) (int_bound (peers - 1)));
       ])
 
 let self_id = 100
@@ -81,7 +83,8 @@ let run_speaker_script actions =
           if List.mem peer (Bgp.Speaker.peers speaker) then
             Bgp.Speaker.handle_msg speaker ~from:peer
               (Bgp.Msg.Withdraw { prefix = prefix0 })
-      | Peer_down peer -> Bgp.Speaker.session_down speaker ~peer:(peer_of peer))
+      | Peer_down peer -> Bgp.Speaker.session_down speaker ~peer:(peer_of peer)
+      | Peer_up peer -> Bgp.Speaker.session_up speaker ~peer:(peer_of peer))
     actions;
   (speaker, List.rev !emitted)
 
@@ -126,6 +129,26 @@ let prop_emitted_announcements_are_wellformed =
           | Withdraw _ -> true
           | Announce { path; _ } -> Bgp.As_path.head path = Some self_id)
         emitted)
+
+let prop_rib_tracks_session_churn =
+  (* Arbitrary session_up/session_down interleavings (mixed with route
+     traffic) must leave the Adj-RIB-In holding entries only for peers
+     whose session is currently up, and the Loc-RIB consistent with it:
+     the best route is drawn from the surviving entries, or absent when
+     none remain. *)
+  QCheck.Test.make ~name:"rib-in only holds live peers across session churn"
+    ~count:300
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 60) (action_gen ~peers:3)))
+    (fun actions ->
+      let speaker, _ = run_speaker_script actions in
+      let live = Bgp.Speaker.peers speaker in
+      let rib = Bgp.Speaker.rib_in speaker prefix0 in
+      List.for_all (fun (peer, _) -> List.mem peer live) rib
+      &&
+      match Bgp.Speaker.best speaker prefix0 with
+      | None -> rib = []
+      | Some (Some learned_from, path) -> List.mem (learned_from, path) rib
+      | Some (None, _) -> false (* this speaker originates nothing *))
 
 (* --- random failure sequences over whole simulations --- *)
 
@@ -241,6 +264,7 @@ let () =
             prop_rib_never_contains_self;
             prop_best_is_policy_minimal;
             prop_emitted_announcements_are_wellformed;
+            prop_rib_tracks_session_churn;
           ] );
       ( "simulation-invariants",
         List.map QCheck_alcotest.to_alcotest
