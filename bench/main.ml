@@ -3,13 +3,20 @@
    micro-benchmarks of the simulator's hot paths and two ablation
    studies of model choices called out in DESIGN.md §6.
 
-     dune exec bench/main.exe             # everything
-     dune exec bench/main.exe -- fig4     # one figure group
-     dune exec bench/main.exe -- micro    # just the micro-benchmarks
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- fig4            # one figure group
+     dune exec bench/main.exe -- micro           # just the micro-benchmarks
+     dune exec bench/main.exe -- --jobs 4 fig4   # sweeps on 4 worker domains
+     dune exec bench/main.exe -- speedup         # sequential-vs-pool timing
+     dune exec bench/main.exe -- --json out.json micro
+                                                 # machine-readable perf record
 
    Figure groups share their underlying simulation sweeps: Figures 4
    and 6 are two views (durations vs exhaustions) of the same runs, as
-   are Figures 5 and 7. *)
+   are Figures 5 and 7.  The figure groups run their (spec, seed)
+   batches through a shared Sweep/Parallel domain pool; results are
+   identical to a sequential run by construction (see DESIGN.md
+   §"Performance"), only faster on multicore hosts. *)
 
 open Bgpsim
 
@@ -47,6 +54,15 @@ let fit_line ~label series ~y =
       say "  fit: %s %a" label Stats.Linear_fit.pp fit
   | _ -> ()
 
+(* Approximate total simulator events behind a series: each point is a
+   mean over its seeds, so mean x seed-count recovers the per-point
+   total up to integer rounding.  Good enough for an events/sec rate. *)
+let series_events ~seeds series =
+  let k = List.length seeds in
+  List.fold_left
+    (fun acc (_, (m : Metrics.Run_metrics.t)) -> acc + (m.events_executed * k))
+    0 series
+
 (* --- Figures 4 and 6: metric vs network size --- *)
 
 let duration_rows series =
@@ -69,14 +85,14 @@ let exhaustion_rows series =
       ])
     series
 
-let size_series ~make ~seeds sizes =
-  Sweep.series ~make:(fun x -> make (int_of_float x)) ~seeds
+let size_series ~pool ~make ~seeds sizes =
+  Sweep.series ~pool ~make:(fun x -> make (int_of_float x)) ~seeds
     (List.map float_of_int sizes)
 
-let fig4_6 () =
+let fig4_6 ~pool =
   say "=== Figures 4 & 6: looping vs network size ===@.";
   let clique =
-    size_series ~make:spec_clique ~seeds:seeds_default clique_sizes
+    size_series ~pool ~make:spec_clique ~seeds:seeds_default clique_sizes
   in
   print_string
     (Report.table ~title:"Fig 4(a): T_down on Clique"
@@ -84,7 +100,8 @@ let fig4_6 () =
        ~rows:(duration_rows clique));
   say "";
   let b_clique =
-    size_series ~make:spec_b_clique_tlong ~seeds:seeds_default b_clique_sizes
+    size_series ~pool ~make:spec_b_clique_tlong ~seeds:seeds_default
+      b_clique_sizes
   in
   print_string
     (Report.table ~title:"Fig 4(b): T_long on B-Clique (2n nodes)"
@@ -92,7 +109,7 @@ let fig4_6 () =
        ~rows:(duration_rows b_clique));
   say "";
   let internet =
-    size_series ~make:spec_internet ~seeds:seeds_default internet_sizes
+    size_series ~pool ~make:spec_internet ~seeds:seeds_default internet_sizes
   in
   print_string
     (Report.table ~title:"Fig 4(c): T_down on Internet-derived"
@@ -122,19 +139,22 @@ let fig4_6 () =
   say
     "Observation 2 check: ratio >65%% for T_down cliques of size >=15, >35%%@,\
      for T_long b-cliques of size >=15.";
-  say ""
+  say "";
+  series_events ~seeds:seeds_default clique
+  + series_events ~seeds:seeds_default b_clique
+  + series_events ~seeds:seeds_default internet
 
 (* --- Figures 5 and 7: metric vs MRAI --- *)
 
-let fig5_7 () =
+let fig5_7 ~pool =
   say "=== Figures 5 & 7: looping vs MRAI value ===@.";
   let clique_mrai =
-    Sweep.series
+    Sweep.series ~pool
       ~make:(fun mrai -> { (spec_clique 15) with mrai })
       ~seeds:seeds_default mrai_values
   in
   let b_clique_mrai =
-    Sweep.series
+    Sweep.series ~pool
       ~make:(fun mrai -> { (spec_b_clique_tlong 10) with mrai })
       ~seeds:seeds_default mrai_values
   in
@@ -191,20 +211,30 @@ let fig5_7 () =
     "Observation 1/2 checks: convergence, looping duration and exhaustion@,\
      counts all linear in the MRAI (R^2 near 1); the looping ratio column@,\
      stays flat.";
-  say ""
+  say "";
+  series_events ~seeds:seeds_default clique_mrai
+  + series_events ~seeds:seeds_default b_clique_mrai
 
 (* --- Figures 8 and 9: enhancement comparisons --- *)
 
-let enhancement_tables ~tag ~exh_title ~conv_title ~seeds ~make sizes =
-  (* per size: metrics for each enhancement *)
-  let per_size =
+let enhancement_tables ~pool ~tag ~exh_title ~conv_title ~seeds ~make sizes =
+  (* one series per enhancement over all sizes, so the pool sees the
+     whole (enhancement x size x seed) space of each series at once *)
+  let per_enh =
     List.map
-      (fun n ->
-        ( n,
-          List.map
-            (fun enh ->
-              (enh, Sweep.over_seeds { (make n) with enhancement = enh } ~seeds))
-            Bgp.Enhancement.all ))
+      (fun enh ->
+        ( enh,
+          Sweep.series ~pool
+            ~make:(fun x ->
+              { (make (int_of_float x)) with enhancement = enh })
+            ~seeds
+            (List.map float_of_int sizes) ))
+      Bgp.Enhancement.all
+  in
+  let per_size =
+    List.mapi
+      (fun i n ->
+        (n, List.map (fun (enh, series) -> (enh, snd (List.nth series i))) per_enh))
       sizes
   in
   let header =
@@ -239,38 +269,82 @@ let enhancement_tables ~tag ~exh_title ~conv_title ~seeds ~make sizes =
     (Report.table ~title:exh_title ~header ~rows:exh_rows);
   say "";
   print_string (Report.table ~title:conv_title ~header ~rows:conv_rows);
-  say ""
+  say "";
+  List.fold_left
+    (fun acc (_, series) -> acc + series_events ~seeds series)
+    0 per_enh
 
-let fig8 () =
+let fig8 ~pool =
   say "=== Figure 8: T_down convergence enhancements ===@.";
-  enhancement_tables ~tag:"size"
-    ~exh_title:"Fig 8(a): TTL exhaustions normalized by standard BGP (Clique, T_down)"
-    ~conv_title:"Fig 8(b): convergence time in seconds (Clique, T_down)"
-    ~seeds:seeds_default ~make:spec_clique clique_sizes;
-  enhancement_tables ~tag:"size"
-    ~exh_title:
-      "Fig 8(c): TTL exhaustions normalized by standard BGP (Internet, T_down)"
-    ~conv_title:"Fig 8(d): convergence time in seconds (Internet, T_down)"
-    ~seeds:seeds_default ~make:spec_internet internet_sizes;
+  let ev1 =
+    enhancement_tables ~pool ~tag:"size"
+      ~exh_title:
+        "Fig 8(a): TTL exhaustions normalized by standard BGP (Clique, T_down)"
+      ~conv_title:"Fig 8(b): convergence time in seconds (Clique, T_down)"
+      ~seeds:seeds_default ~make:spec_clique clique_sizes
+  in
+  let ev2 =
+    enhancement_tables ~pool ~tag:"size"
+      ~exh_title:
+        "Fig 8(c): TTL exhaustions normalized by standard BGP (Internet, T_down)"
+      ~conv_title:"Fig 8(d): convergence time in seconds (Internet, T_down)"
+      ~seeds:seeds_default ~make:spec_internet internet_sizes
+  in
   say
     "Observation 3 checks: Assertion ~0 on cliques but weaker on Internet@,\
      topologies; Ghost Flushing <=0.2 normalized everywhere; SSLD a mild@,\
      <1 factor; WRATE near or above 1.";
-  say ""
+  say "";
+  ev1 + ev2
 
-let fig9 () =
+let fig9 ~pool =
   say "=== Figure 9: T_long convergence enhancements ===@.";
-  enhancement_tables ~tag:"n"
-    ~exh_title:
-      "Fig 9(a): TTL exhaustions normalized by standard BGP (B-Clique, T_long)"
-    ~conv_title:"Fig 9(b): convergence time in seconds (B-Clique, T_long)"
-    ~seeds:seeds_default ~make:spec_b_clique_tlong b_clique_sizes;
-  enhancement_tables ~tag:"size"
-    ~exh_title:
-      "Fig 9(c): TTL exhaustions normalized by standard BGP (Internet, T_long)"
-    ~conv_title:"Fig 9(d): convergence time in seconds (Internet, T_long)"
-    ~seeds:seeds_internet_tlong ~make:spec_internet_tlong internet_sizes;
-  say ""
+  let ev1 =
+    enhancement_tables ~pool ~tag:"n"
+      ~exh_title:
+        "Fig 9(a): TTL exhaustions normalized by standard BGP (B-Clique, T_long)"
+      ~conv_title:"Fig 9(b): convergence time in seconds (B-Clique, T_long)"
+      ~seeds:seeds_default ~make:spec_b_clique_tlong b_clique_sizes
+  in
+  let ev2 =
+    enhancement_tables ~pool ~tag:"size"
+      ~exh_title:
+        "Fig 9(c): TTL exhaustions normalized by standard BGP (Internet, T_long)"
+      ~conv_title:"Fig 9(d): convergence time in seconds (Internet, T_long)"
+      ~seeds:seeds_internet_tlong ~make:spec_internet_tlong internet_sizes
+  in
+  ev1 + ev2
+
+(* --- sequential vs pooled wall-clock comparison --- *)
+
+let speedup ~pool =
+  say "=== Speedup: sequential vs %d-worker pool (Fig 4(a) sweep) ===@."
+    (Parallel.jobs pool);
+  let sizes = clique_sizes and seeds = seeds_default in
+  let sweep ?pool () =
+    Sweep.series ?pool
+      ~make:(fun x -> spec_clique (int_of_float x))
+      ~seeds
+      (List.map float_of_int sizes)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let seq_s, seq_series = time (fun () -> sweep ()) in
+  let par_s, par_series = time (fun () -> sweep ~pool ()) in
+  let strip (x, (m : Metrics.Run_metrics.t)) =
+    (x, { m with wall_clock_s = 0. })
+  in
+  if List.map strip seq_series <> List.map strip par_series then
+    say "  WARNING: parallel sweep diverged from sequential results!";
+  let events = series_events ~seeds seq_series in
+  say "  sequential: %.2f s   pool (%d workers): %.2f s   speedup: %.2fx"
+    seq_s (Parallel.jobs pool) par_s
+    (if par_s > 0. then seq_s /. par_s else 0.);
+  say "";
+  (events, (seq_s, par_s))
 
 (* --- ablations (DESIGN.md §6) --- *)
 
@@ -667,6 +741,13 @@ let micro () =
            let q = Bgp.As_path.prepend 10 p in
            ignore (Bgp.As_path.compare q p : int)))
   in
+  let test_peer_table =
+    let table = Bgp.Peer_table.create (List.init 64 (fun i -> i * 3)) in
+    Test.make ~name:"peer-table: 64-peer mem hit+miss"
+      (Staged.stage (fun () ->
+           ignore (Bgp.Peer_table.mem table 93 : bool);
+           ignore (Bgp.Peer_table.mem table 94 : bool)))
+  in
   let test_fib_lookup =
     let fib = Netcore.Fib_history.create ~n:1 in
     for i = 0 to 99 do
@@ -698,7 +779,8 @@ let micro () =
   in
   let tests =
     [
-      test_event_queue; test_as_path; test_fib_lookup; test_walk; test_routing_sim;
+      test_event_queue; test_as_path; test_peer_table; test_fib_lookup;
+      test_walk; test_routing_sim;
     ]
   in
   let benchmark test =
@@ -722,24 +804,124 @@ let micro () =
   List.iter benchmark tests;
   say ""
 
+(* --- group registry, timing and the JSON perf record --- *)
+
+type group_report = {
+  name : string;
+  wall_s : float;
+  events : int;  (* 0 = the group does not count simulator events *)
+}
+
+(* speedup group's sequential/parallel timings, when it ran *)
+let speedup_times : (float * float) option ref = ref None
+
 let groups =
   [
-    ("fig4", fig4_6);
-    ("fig5", fig5_7);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("ablations", ablations);
-    ("provenance", provenance);
-    ("damping", damping);
-    ("interference", interference);
-    ("micro", micro);
+    ("fig4", fun ~pool -> fig4_6 ~pool);
+    ("fig5", fun ~pool -> fig5_7 ~pool);
+    ("fig8", fun ~pool -> fig8 ~pool);
+    ("fig9", fun ~pool -> fig9 ~pool);
+    ( "speedup",
+      fun ~pool ->
+        let events, times = speedup ~pool in
+        speedup_times := Some times;
+        events );
+    ("ablations", fun ~pool:_ -> ablations (); 0);
+    ("provenance", fun ~pool:_ -> provenance (); 0);
+    ("damping", fun ~pool:_ -> damping (); 0);
+    ("interference", fun ~pool:_ -> interference (); 0);
+    ("micro", fun ~pool:_ -> micro (); 0);
   ]
 
+let git_revision () =
+  match
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> Some line
+      | _ -> None
+    with Unix.Unix_error _ | Sys_error _ -> None
+  with
+  | Some rev -> rev
+  | None -> "unknown"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* BENCH_<rev>.json schema: see EXPERIMENTS.md §"Bench perf records". *)
+let write_json ~path ~jobs reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"bgpsim-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"revision\": \"%s\",\n" (json_escape (git_revision ())));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ()));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"groups\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \
+            \"events_per_sec\": %s}%s\n"
+           (json_escape r.name) r.wall_s r.events
+           (if r.events > 0 && r.wall_s > 0. then
+              Printf.sprintf "%.0f" (float_of_int r.events /. r.wall_s)
+            else "null")
+           (if i = List.length reports - 1 then "" else ",")))
+    reports;
+  Buffer.add_string buf "  ],\n";
+  (match !speedup_times with
+  | Some (seq_s, par_s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"speedup\": {\"seq_wall_s\": %.3f, \"par_wall_s\": %.3f, \
+            \"ratio\": %.3f, \"jobs\": %d}\n"
+           seq_s par_s
+           (if par_s > 0. then seq_s /. par_s else 0.)
+           jobs)
+  | None -> Buffer.add_string buf "  \"speedup\": null\n");
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote %s" path
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse names jobs json = function
+    | [] -> (List.rev names, jobs, json)
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> parse names (Some j) json rest
+        | _ ->
+            Format.eprintf "--jobs expects a positive integer, got %S@." v;
+            exit 2)
+    | "--json" :: path :: rest -> parse names jobs (Some path) rest
+    | ("--jobs" | "--json") :: [] ->
+        Format.eprintf "missing value for final flag@.";
+        exit 2
+    | name :: rest -> parse (name :: names) jobs json rest
+  in
+  let requested, jobs, json_path = parse [] None None args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] -> args
-    | _ -> List.map fst groups
+    if requested = [] then List.map fst groups else requested
   in
   let aliases = [ ("fig6", "fig4"); ("fig7", "fig5"); ("all", "") ] in
   let wanted name =
@@ -749,12 +931,30 @@ let () =
     | None -> [ name ]
   in
   let requested = List.concat_map wanted requested in
+  let pool = Parallel.create ?jobs () in
+  say "sweep pool: %d worker(s) (host recommends %d domains)@."
+    (Parallel.jobs pool)
+    (Domain.recommended_domain_count ());
+  let reports = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name groups with
-      | Some f -> f ()
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          let events = f ~pool in
+          let wall_s = Unix.gettimeofday () -. t0 in
+          say "[%s] %.2f s wall%s@." name wall_s
+            (if events > 0 then
+               Printf.sprintf ", %d events (%.0f ev/s)" events
+                 (float_of_int events /. wall_s)
+             else "");
+          reports := { name; wall_s; events } :: !reports
       | None ->
           Format.eprintf "unknown bench group %S (known: %s, fig6, fig7, all)@."
             name
             (String.concat ", " (List.map fst groups)))
-    requested
+    requested;
+  Parallel.shutdown pool;
+  match json_path with
+  | Some path -> write_json ~path ~jobs:(Parallel.jobs pool) (List.rev !reports)
+  | None -> ()

@@ -121,6 +121,14 @@ let seeds_arg =
     & info [ "seeds" ] ~docv:"N"
         ~doc:"Number of seeds to average over (seed, seed+1, ...).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains running the (spec, seed) batch in parallel; results \
+           are identical to --jobs 1 (default: sequential).")
+
 let scenario_conv =
   let parse s =
     match Faults.Scenario.of_string s with
@@ -195,13 +203,13 @@ let seed_list ~seed ~seeds = List.init (Stdlib.max 1 seeds) (fun i -> seed + i)
 
 let run_cmd =
   let action topology event scenario invariants max_events max_vtime
-      enhancement mrai seed seeds =
+      enhancement mrai seed seeds jobs =
     let spec =
       spec_of ?scenario ~invariants ~max_events ?max_vtime topology event
         enhancement mrai seed
     in
     let robust =
-      Bgpsim.Sweep.over_seeds_robust spec ~seeds:(seed_list ~seed ~seeds)
+      Bgpsim.Sweep.over_seeds_robust ~jobs spec ~seeds:(seed_list ~seed ~seeds)
     in
     Format.printf "%s  event=%s  enhancement=%a  mrai=%gs  seeds=%d@."
       (Bgpsim.Experiment.topology_name topology)
@@ -219,7 +227,7 @@ let run_cmd =
     Term.(
       const action $ topology_arg $ event_arg $ scenario_arg $ invariants_arg
       $ max_events_arg $ max_vtime_arg $ enhancement_arg $ mrai_arg $ seed_arg
-      $ seeds_arg)
+      $ seeds_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one failure scenario and print its metrics")
@@ -257,7 +265,7 @@ let sweep_cmd =
       value & opt int 10
       & info [ "size" ] ~docv:"N" ~doc:"Fixed size when sweeping the MRAI.")
   in
-  let action family axis values size event enhancement mrai seed seeds =
+  let action family axis values size event enhancement mrai seed seeds jobs =
     let topology n =
       match family with
       | `Clique -> Bgpsim.Experiment.Clique n
@@ -270,7 +278,7 @@ let sweep_cmd =
       | `Mrai -> spec_of (topology size) event enhancement v seed
     in
     let series =
-      Bgpsim.Sweep.series ~make ~seeds:(seed_list ~seed ~seeds) values
+      Bgpsim.Sweep.series ~jobs ~make ~seeds:(seed_list ~seed ~seeds) values
     in
     let rows =
       List.map
@@ -312,7 +320,7 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ family_arg $ axis_arg $ values_arg $ size_arg $ event_arg
-      $ enhancement_arg $ mrai_arg $ seed_arg $ seeds_arg)
+      $ enhancement_arg $ mrai_arg $ seed_arg $ seeds_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -402,7 +410,7 @@ let figures_cmd =
       value & opt int 3
       & info [ "seeds" ] ~docv:"N" ~doc:"Seeds averaged per data point.")
   in
-  let action dir seeds =
+  let action dir seeds jobs =
     let seeds = seed_list ~seed:1 ~seeds in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let write name text =
@@ -412,8 +420,10 @@ let figures_cmd =
       close_out oc;
       Printf.printf "wrote %s\n%!" path
     in
+    (* one pool shared by every figure's sweep *)
+    Bgpsim.Parallel.with_pool ~jobs @@ fun pool ->
     let series ~x_label ~make xs name =
-      let data = Bgpsim.Sweep.series ~make ~seeds xs in
+      let data = Bgpsim.Sweep.series ~pool ~make ~seeds xs in
       write name (Metrics.Export.series_csv ~x_label data)
     in
     let sizes = List.map float_of_int in
@@ -501,7 +511,7 @@ let figures_cmd =
           (Printf.sprintf "fig9cd_internet_tlong_%s.csv" tag))
       Bgp.Enhancement.all
   in
-  let term = Term.(const action $ dir_arg $ seeds_arg) in
+  let term = Term.(const action $ dir_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "figures"
        ~doc:

@@ -84,7 +84,12 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
   let fibs =
     List.map (fun p -> (p, Netcore.Fib_history.create ~n)) prefix_list
   in
-  let fib_of p = List.assoc p fibs in
+  (* [fib_of] runs on every next-hop change of every prefix; a linear
+     [List.assoc] over the origin list would make each FIB update
+     O(origins). *)
+  let fib_index = Hashtbl.create (List.length fibs) in
+  List.iter (fun (p, fib) -> Hashtbl.add fib_index p fib) fibs;
+  let fib_of p = Hashtbl.find fib_index p in
   (* per-prefix message accounting for the victim's convergence *)
   let victim_msgs = ref 0
   and background_msgs = ref 0

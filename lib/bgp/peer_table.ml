@@ -1,0 +1,57 @@
+type t = { mutable peers : int array }
+
+let create peers =
+  { peers = Array.of_list (List.sort_uniq compare peers) }
+
+let mem t peer =
+  let a = t.peers in
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = Array.unsafe_get a mid in
+    if v = peer then found := true
+    else if v < peer then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let add t peer =
+  if not (mem t peer) then begin
+    let a = t.peers in
+    let n = Array.length a in
+    let bigger = Array.make (n + 1) peer in
+    (* insertion point keeps the array sorted *)
+    let i = ref 0 in
+    while !i < n && a.(!i) < peer do
+      bigger.(!i) <- a.(!i);
+      incr i
+    done;
+    Array.blit a !i bigger (!i + 1) (n - !i);
+    t.peers <- bigger
+  end
+
+let remove t peer =
+  if mem t peer then begin
+    let a = t.peers in
+    let n = Array.length a in
+    let smaller = Array.make (n - 1) 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if a.(i) <> peer then begin
+        smaller.(!j) <- a.(i);
+        incr j
+      end
+    done;
+    t.peers <- smaller
+  end
+
+let clear t = t.peers <- [||]
+
+let is_empty t = Array.length t.peers = 0
+
+let cardinal t = Array.length t.peers
+
+let iter f t = Array.iter f t.peers
+
+let to_list t = Array.to_list t.peers

@@ -1,0 +1,34 @@
+(** Live-peer membership as a sorted array of node IDs.
+
+    A speaker consults its peer set on every received message and
+    iterates it on every best-route change, so membership must be
+    cheaper than the [List.mem] scan it replaces: lookups are binary
+    searches and iteration is a cache-friendly array walk, in
+    ascending ID order (the order the decision process relies on for
+    determinism).  Mutations (session up/down) are rare and may pay
+    O(n) to rebuild the array. *)
+
+type t
+
+val create : int list -> t
+(** From an unsorted, possibly duplicated peer list. *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+(** No-op when already present. *)
+
+val remove : t -> int -> unit
+(** No-op when absent. *)
+
+val clear : t -> unit
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending ID order. *)
+
+val to_list : t -> int list
+(** Ascending ID order. *)

@@ -22,7 +22,7 @@ type t = {
   config : Config.t;
   rng : Dessim.Rng.t;
   checker : Faults.Invariant.t;
-  mutable live_peers : int list;
+  live_peers : Peer_table.t;
   mutable alive : bool;
   emit : peer:int -> Msg.t -> unit;
   on_next_hop_change : prefix:Prefix.t -> next_hop:int option -> unit;
@@ -39,7 +39,7 @@ let create ?(checker = Faults.Invariant.off) ~engine ~config ~rng ~node ~peers
     config;
     rng;
     checker;
-    live_peers = List.sort_uniq compare peers;
+    live_peers = Peer_table.create peers;
     alive = true;
     emit;
     on_next_hop_change;
@@ -49,7 +49,7 @@ let create ?(checker = Faults.Invariant.off) ~engine ~config ~rng ~node ~peers
 
 let node t = t.node
 
-let peers t = t.live_peers
+let peers t = Peer_table.to_list t.live_peers
 
 let dest_state t prefix =
   match Hashtbl.find_opt t.dests prefix with
@@ -232,7 +232,7 @@ let check_rib_coherence t st =
                   "node %d: Loc-RIB best via peer %d is not the Adj-RIB-In \
                    entry"
                   t.node peer));
-        if not (List.mem peer t.live_peers) then
+        if not (Peer_table.mem t.live_peers peer) then
           Faults.Invariant.report t.checker Faults.Invariant.Dead_next_hop
             ~detail:(fun () ->
               Printf.sprintf "node %d: next hop %d is not a live peer" t.node
@@ -246,7 +246,7 @@ let recompute t st =
     t.route_changes <- t.route_changes + 1;
     if old_nh <> new_nh then
       t.on_next_hop_change ~prefix:st.prefix ~next_hop:new_nh;
-    List.iter (sync_peer t st) t.live_peers
+    Peer_table.iter (sync_peer t st) t.live_peers
   end);
   check_rib_coherence t st
 
@@ -341,7 +341,7 @@ let handle_msg t ~from msg =
      then its content is void (the peer's routes were flushed at
      teardown and no withdrawal will ever follow), so late deliveries
      from dead peers — or to dead nodes — are dropped. *)
-  if not (t.alive && List.mem from t.live_peers) then ()
+  if not (t.alive && Peer_table.mem t.live_peers from) then ()
   else
     match (msg : Msg.t) with
   | Announce { prefix; path } ->
@@ -370,8 +370,8 @@ let handle_msg t ~from msg =
       schedule_reuse t st
 
 let session_down t ~peer =
-  if List.mem peer t.live_peers then begin
-    t.live_peers <- List.filter (fun p -> p <> peer) t.live_peers;
+  if Peer_table.mem t.live_peers peer then begin
+    Peer_table.remove t.live_peers peer;
     Hashtbl.iter
       (fun _prefix st ->
         Hashtbl.remove st.rib_in peer;
@@ -388,8 +388,8 @@ let session_down t ~peer =
   end
 
 let session_up t ~peer =
-  if t.alive && not (List.mem peer t.live_peers) then begin
-    t.live_peers <- List.sort compare (peer :: t.live_peers);
+  if t.alive && not (Peer_table.mem t.live_peers peer) then begin
+    Peer_table.add t.live_peers peer;
     (* table dump: the fresh peer hears every best route we hold *)
     Hashtbl.iter (fun _prefix st -> sync_peer t st peer) t.dests
   end
@@ -401,7 +401,7 @@ let alive t = t.alive
 let crash t =
   if t.alive then begin
     t.alive <- false;
-    t.live_peers <- [];
+    Peer_table.clear t.live_peers;
     (* all protocol state is lost: pending MRAI transmissions and
        damping reuse timers must not fire for a dead node *)
     Hashtbl.iter

@@ -179,6 +179,7 @@ let status_name = function
         events_executed last_vtime
 
 let run spec =
+  let wall_start = Unix.gettimeofday () in
   let graph, origin, event = resolve spec in
   let config = Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement in
   let outcome =
@@ -199,7 +200,9 @@ let run spec =
     Loopscan.Scanner.scan ~fib ~origin ~from:outcome.t_fail
   in
   let metrics =
-    Metrics.Run_metrics.make ~outcome ~replay ~loops ~loops_until:window_end
+    Metrics.Run_metrics.make
+      ~wall_clock_s:(Unix.gettimeofday () -. wall_start)
+      ~outcome ~replay ~loops ~loops_until:window_end ()
   in
   { spec; outcome; replay; loops; metrics }
 

@@ -1,0 +1,128 @@
+exception Rng_hygiene of string
+
+type t = {
+  jobs : int;
+  check_rng : bool;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable closing : bool;
+  mutable shut : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+(* The global [Random] state advances on every draw, so comparing
+   snapshots taken around a run detects any draw made outside the
+   run's own seeded stream.  [Random.get_state] returns a copy, so the
+   two snapshots are independent values. *)
+let rng_violation f =
+  let before = Random.get_state () in
+  let outcome = (try Ok (f ()) with exn -> Error exn) in
+  let after = Random.get_state () in
+  if Stdlib.compare before after <> 0 then
+    Error
+      (Rng_hygiene
+         "run advanced the global Random state; seeded runs must draw \
+          only from their own Dessim.Rng stream")
+  else outcome
+
+let guarded check_rng f =
+  if check_rng then rng_violation f
+  else try Ok (f ()) with exn -> Error exn
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closing: exit *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t
+  end
+
+let create ?jobs ?(check_rng_hygiene = false) () =
+  let jobs =
+    match jobs with Some j -> j | None -> default_jobs ()
+  in
+  if jobs < 0 then invalid_arg "Parallel.create: negative jobs";
+  let t =
+    {
+      jobs = Stdlib.max 1 jobs;
+      check_rng = check_rng_hygiene;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      closing = false;
+      shut = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let run_sequential t thunks = List.map (guarded t.check_rng) thunks
+
+let run t thunks =
+  if t.shut then invalid_arg "Parallel.run: pool is shut down";
+  match t.workers with
+  | [] -> run_sequential t thunks
+  | _ :: _ -> (
+      match Array.of_list thunks with
+      | [||] -> []
+      | tasks ->
+          let n = Array.length tasks in
+          let results = Array.make n None in
+          let remaining = ref n in
+          Mutex.lock t.mutex;
+          Array.iteri
+            (fun i f ->
+              Queue.add
+                (fun () ->
+                  let r = guarded t.check_rng f in
+                  Mutex.lock t.mutex;
+                  results.(i) <- Some r;
+                  decr remaining;
+                  if !remaining = 0 then Condition.broadcast t.batch_done;
+                  Mutex.unlock t.mutex)
+                t.queue)
+            tasks;
+          Condition.broadcast t.work_ready;
+          while !remaining > 0 do
+            Condition.wait t.batch_done t.mutex
+          done;
+          Mutex.unlock t.mutex;
+          Array.to_list
+            (Array.map
+               (function Some r -> r | None -> assert false)
+               results))
+
+let shutdown t =
+  if not t.shut then begin
+    Mutex.lock t.mutex;
+    t.closing <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    t.shut <- true
+  end
+
+let with_pool ?jobs ?check_rng_hygiene f =
+  let t = create ?jobs ?check_rng_hygiene () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ?pool ?jobs f xs =
+  let thunks = List.map (fun x () -> f x) xs in
+  match pool with
+  | Some t -> run t thunks
+  | None -> with_pool ?jobs (fun t -> run t thunks)

@@ -1,16 +1,68 @@
-let over_seeds spec ~seeds =
+(* Every sweep bottoms out in [run_batch]: one thunk per (spec, seed)
+   pair, executed through a caller-supplied pool, a temporary pool of
+   [jobs] workers, or sequentially — always gathered in submission
+   order, so the parallel paths are observationally identical to the
+   sequential one (each run builds its own engine and seeded RNG
+   streams; only the host wall clock differs). *)
+let run_batch ?pool ?jobs thunks =
+  match (pool, jobs) with
+  | Some p, _ -> Parallel.run p thunks
+  | None, Some j when j > 1 ->
+      Parallel.with_pool ~jobs:j (fun p -> Parallel.run p thunks)
+  | None, _ -> List.map (fun f -> try Ok (f ()) with exn -> Error exn) thunks
+
+let reraise = function Ok v -> v | Error exn -> raise exn
+
+(* [chunk k xs] splits [xs] into consecutive groups of [k] — the
+   inverse of the cross-product flattening done by the series sweeps. *)
+let chunk k xs =
+  let rec take acc k xs =
+    if k = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> invalid_arg "Sweep.chunk: ragged input"
+      | x :: rest -> take (x :: acc) (k - 1) rest
+  in
+  let rec go acc xs =
+    match xs with
+    | [] -> List.rev acc
+    | _ ->
+        let group, rest = take [] k xs in
+        go (group :: acc) rest
+  in
+  go [] xs
+
+let over_seeds ?pool ?jobs spec ~seeds =
   if seeds = [] then invalid_arg "Sweep.over_seeds: empty seed list";
-  List.map (fun seed -> Experiment.metrics { spec with seed }) seeds
+  run_batch ?pool ?jobs
+    (List.map (fun seed () -> Experiment.metrics { spec with seed }) seeds)
+  |> List.map reraise
   |> Metrics.Run_metrics.mean
 
-let series ~make ~seeds xs =
-  List.map (fun x -> (x, over_seeds (make x) ~seeds)) xs
+let series ?pool ?jobs ~make ~seeds xs =
+  if seeds = [] then invalid_arg "Sweep.series: empty seed list";
+  (* flatten the (x, seed) cross product so a pool sees every run at
+     once instead of one x's seeds at a time *)
+  let runs =
+    List.concat_map
+      (fun x ->
+        List.map
+          (fun seed () -> Experiment.metrics { (make x) with Experiment.seed = seed })
+          seeds)
+      xs
+  in
+  run_batch ?pool ?jobs runs
+  |> List.map reraise
+  |> chunk (List.length seeds)
+  |> List.map2 (fun x ms -> (x, Metrics.Run_metrics.mean ms)) xs
 
 let default_seeds = [ 1; 2; 3; 4; 5 ]
 
-let over_seeds_summary spec ~seeds ~metric =
+let over_seeds_summary ?pool ?jobs spec ~seeds ~metric =
   if seeds = [] then invalid_arg "Sweep.over_seeds_summary: empty seed list";
-  List.map (fun seed -> metric (Experiment.metrics { spec with seed })) seeds
+  run_batch ?pool ?jobs
+    (List.map (fun seed () -> metric (Experiment.metrics { spec with seed })) seeds)
+  |> List.map reraise
   |> Array.of_list
   |> Stats.Descriptive.summarize
 
@@ -35,22 +87,19 @@ let describe_spec (spec : Experiment.spec) =
     (Experiment.topology_name spec.topology)
     (Experiment.event_name spec.event)
 
-let over_seeds_robust spec ~seeds =
-  if seeds = [] then invalid_arg "Sweep.over_seeds_robust: empty seed list";
+let robust_of_results spec ~seeds results =
   let results =
-    List.map
-      (fun seed ->
-        let spec = { spec with Experiment.seed } in
-        match Experiment.run spec with
-        | run -> Ok run.Experiment.metrics
-        | exception exn ->
+    List.map2
+      (fun seed -> function
+        | Ok m -> Ok m
+        | Error exn ->
             Error
               {
                 seed;
-                scenario = describe_spec spec;
+                scenario = describe_spec { spec with Experiment.seed };
                 message = Printexc.to_string exn;
               })
-      seeds
+      seeds results
   in
   let ok = List.filter_map Result.to_option results in
   {
@@ -66,8 +115,26 @@ let over_seeds_robust spec ~seeds =
         results;
   }
 
-let series_robust ~make ~seeds xs =
-  List.map (fun x -> (x, over_seeds_robust (make x) ~seeds)) xs
+let robust_thunks spec ~seeds =
+  List.map
+    (fun seed () ->
+      (Experiment.run { spec with Experiment.seed }).Experiment.metrics)
+    seeds
+
+let over_seeds_robust ?pool ?jobs spec ~seeds =
+  if seeds = [] then invalid_arg "Sweep.over_seeds_robust: empty seed list";
+  run_batch ?pool ?jobs (robust_thunks spec ~seeds)
+  |> robust_of_results spec ~seeds
+
+let series_robust ?pool ?jobs ~make ~seeds xs =
+  if seeds = [] then invalid_arg "Sweep.series_robust: empty seed list";
+  let specs = List.map make xs in
+  let runs = List.concat_map (robust_thunks ~seeds) specs in
+  run_batch ?pool ?jobs runs
+  |> chunk (List.length seeds)
+  |> List.map2
+       (fun (x, spec) results -> (x, robust_of_results spec ~seeds results))
+       (List.combine xs specs)
 
 let failures_table failures =
   Report.table ~title:"failed runs"

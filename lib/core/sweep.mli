@@ -1,25 +1,45 @@
 (** Parameter sweeps with multi-seed averaging — the shape of every
     figure in the paper: a metric series against network size, MRAI
-    value, or enhancement. *)
+    value, or enhancement.
+
+    {b Parallelism.} Every sweep accepts [?pool] (a caller-managed
+    {!Parallel.t}, reused across sweeps) or [?jobs] (a temporary pool
+    torn down when the sweep returns).  Each (spec, seed) run owns its
+    engine and seeded RNG streams, and results are gathered in
+    submission order, so a parallel sweep returns the same metrics and
+    the same failure order as the sequential one — only the
+    [wall_clock_s] timing field differs.  With neither option (or
+    [jobs <= 1]) the sweep runs sequentially in the calling domain. *)
 
 val over_seeds :
-  Experiment.spec -> seeds:int list -> Metrics.Run_metrics.t
+  ?pool:Parallel.t ->
+  ?jobs:int ->
+  Experiment.spec ->
+  seeds:int list ->
+  Metrics.Run_metrics.t
 (** Mean metrics over re-runs of [spec] with each seed (the paper's
     "simulations were repeated a number of times with different
     destination ASes and failed links").
     @raise Invalid_argument on an empty seed list. *)
 
 val series :
+  ?pool:Parallel.t ->
+  ?jobs:int ->
   make:('x -> Experiment.spec) ->
   seeds:int list ->
   'x list ->
   ('x * Metrics.Run_metrics.t) list
-(** One averaged data point per sweep value. *)
+(** One averaged data point per sweep value.  The whole
+    [(x, seed)] cross product is submitted to the pool at once, so
+    parallelism is not throttled by the per-point seed count.
+    @raise Invalid_argument on an empty seed list. *)
 
 val default_seeds : int list
 (** Seeds 1–5. *)
 
 val over_seeds_summary :
+  ?pool:Parallel.t ->
+  ?jobs:int ->
   Experiment.spec ->
   seeds:int list ->
   metric:(Metrics.Run_metrics.t -> float) ->
@@ -62,11 +82,19 @@ type robust = {
   failures : run_failure list;
 }
 
-val over_seeds_robust : Experiment.spec -> seeds:int list -> robust
+val over_seeds_robust :
+  ?pool:Parallel.t ->
+  ?jobs:int ->
+  Experiment.spec ->
+  seeds:int list ->
+  robust
 (** Like {!over_seeds}, but exceptions are isolated per run.
+    [failures] keeps seed order even under parallelism.
     @raise Invalid_argument on an empty seed list. *)
 
 val series_robust :
+  ?pool:Parallel.t ->
+  ?jobs:int ->
   make:('x -> Experiment.spec) ->
   seeds:int list ->
   'x list ->

@@ -8,6 +8,14 @@ type 'a t = {
 
 let initial_capacity = 64
 
+(* Filler for slots at or above [size].  Such slots are never read as
+   entries (every traversal is bounded by [size]), they only need some
+   value so the array does not retain popped entries — a popped event's
+   closure would otherwise stay reachable until its slot happened to be
+   overwritten.  An immediate int is safe here because ['a entry] is a
+   pointer type, so the backing array is never a float array. *)
+let dummy : unit -> 'a entry = fun () -> Obj.magic 0
+
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let is_empty t = t.size = 0
@@ -19,47 +27,56 @@ let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 let ensure_capacity t =
   let cap = Array.length t.heap in
   if t.size >= cap then begin
-    let dummy = t.heap.(0) in
     let bigger =
-      Array.make (Stdlib.max initial_capacity (2 * cap)) dummy
+      Array.make (Stdlib.max initial_capacity (2 * cap)) (dummy ())
     in
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Hole-shifting sifts: instead of pairwise swaps (three array writes
+   per level), slide the blocking entries into the hole and write the
+   moving entry once at its final position. *)
+let sift_up t i entry =
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if earlier entry t.heap.(parent) then begin
+      t.heap.(!i) <- t.heap.(parent);
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  t.heap.(!i) <- entry
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+let sift_down t i entry =
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    let best = ref entry in
+    if l < t.size && earlier t.heap.(l) !best then begin
+      smallest := l;
+      best := t.heap.(l)
+    end;
+    if r < t.size && earlier t.heap.(r) !best then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      t.heap.(!i) <- t.heap.(!smallest);
+      i := !smallest
+    end
+  done;
+  t.heap.(!i) <- entry
 
 let push t ~time item =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
   let entry = { time; seq = t.next_seq; item } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.heap = 0 then t.heap <- Array.make initial_capacity entry;
   ensure_capacity t;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t (t.size - 1) entry
 
 let pop t =
   if t.size = 0 then None
@@ -67,9 +84,11 @@ let pop t =
     let top = t.heap.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
+      let last = t.heap.(t.size) in
+      t.heap.(t.size) <- dummy ();
+      sift_down t 0 last
+    end
+    else t.heap.(0) <- dummy ();
     Some (top.time, top.item)
   end
 

@@ -17,10 +17,13 @@ type t = {
   max_concurrent_loops : int;
   converged : bool;
   invariant_violations : int;
+  events_executed : int;
+  wall_clock_s : float;
 }
 
-let make ~(outcome : Bgp.Routing_sim.outcome) ~(replay : Traffic.Replay.result)
-    ~(loops : Loopscan.Scanner.report) ~loops_until =
+let make ?(wall_clock_s = 0.) ~(outcome : Bgp.Routing_sim.outcome)
+    ~(replay : Traffic.Replay.result) ~(loops : Loopscan.Scanner.report)
+    ~loops_until () =
   let agg = Loopscan.Scanner.aggregate loops ~until:loops_until in
   {
     convergence_time = Bgp.Routing_sim.convergence_time outcome;
@@ -44,6 +47,8 @@ let make ~(outcome : Bgp.Routing_sim.outcome) ~(replay : Traffic.Replay.result)
       List.fold_left
         (fun acc (_, c) -> acc + c)
         0 outcome.invariant_violations;
+    events_executed = outcome.events_executed;
+    wall_clock_s;
   }
 
 let zero =
@@ -66,6 +71,8 @@ let zero =
     max_concurrent_loops = 0;
     converged = true;
     invariant_violations = 0;
+    events_executed = 0;
+    wall_clock_s = 0.;
   }
 
 let mean = function
@@ -98,6 +105,8 @@ let mean = function
         max_concurrent_loops = iavg (fun r -> r.max_concurrent_loops);
         converged = List.for_all (fun r -> r.converged) runs;
         invariant_violations = iavg (fun r -> r.invariant_violations);
+        events_executed = iavg (fun r -> r.events_executed);
+        wall_clock_s = favg (fun r -> r.wall_clock_s);
       }
 
 let header =
@@ -130,4 +139,8 @@ let pp fmt t =
     (fun fmt ->
       if t.invariant_violations > 0 then
         Format.fprintf fmt "@,invariant violations:     %d"
-          t.invariant_violations)
+          t.invariant_violations;
+      if t.wall_clock_s > 0. then
+        Format.fprintf fmt "@,events / wall clock:      %d / %.3f s (%.0f ev/s)"
+          t.events_executed t.wall_clock_s
+          (float_of_int t.events_executed /. t.wall_clock_s))

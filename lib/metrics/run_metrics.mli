@@ -29,13 +29,22 @@ type t = {
   invariant_violations : int;
       (** total runtime-invariant violations recorded during the run
           (0 unless the run's checker was in [Record] mode and fired) *)
+  events_executed : int;
+      (** simulator events the run's engine processed — the
+          wall-clock-independent cost of the run *)
+  wall_clock_s : float;
+      (** host wall-clock seconds the run took (0 when the caller did
+          not time it); with [events_executed] this yields events/sec,
+          so hot-path speedups are measured rather than asserted *)
 }
 
 val make :
+  ?wall_clock_s:float ->
   outcome:Bgp.Routing_sim.outcome ->
   replay:Traffic.Replay.result ->
   loops:Loopscan.Scanner.report ->
   loops_until:float ->
+  unit ->
   t
 
 val zero : t

@@ -1,0 +1,184 @@
+(* Tests for the Parallel domain pool and the parallel sweep paths:
+   ordered gather, sequential/parallel equivalence (including failure
+   order), clean shutdown after a raising run, and the RNG-hygiene
+   guard.  Runs compare with [wall_clock_s] zeroed out — it is the one
+   field documented to differ between sequential and pooled runs. *)
+
+open Bgpsim
+
+let strip (m : Metrics.Run_metrics.t) = { m with wall_clock_s = 0. }
+
+let strip_robust (r : Sweep.robust) =
+  { r with Sweep.metrics = Option.map strip r.metrics }
+
+(* --- pool basics --- *)
+
+let test_run_preserves_order () =
+  Parallel.with_pool ~jobs:4 @@ fun pool ->
+  let results =
+    Parallel.run pool (List.init 20 (fun i () -> i * i))
+  in
+  Alcotest.(check (list int))
+    "squares in submission order"
+    (List.init 20 (fun i -> i * i))
+    (List.map Result.get_ok results)
+
+let test_map_matches_sequential () =
+  let xs = List.init 15 (fun i -> i) in
+  let f x = (x * 7919) mod 997 in
+  let seq = List.map f xs in
+  let par = Parallel.map ~jobs:3 f xs |> List.map Result.get_ok in
+  Alcotest.(check (list int)) "map ordering" seq par
+
+let test_jobs_clamped () =
+  Parallel.with_pool ~jobs:0 @@ fun pool ->
+  Alcotest.(check int) "jobs 0 clamps to 1" 1 (Parallel.jobs pool);
+  Alcotest.check_raises "negative jobs"
+    (Invalid_argument "Parallel.create: negative jobs") (fun () ->
+      ignore (Parallel.create ~jobs:(-1) ()))
+
+let test_exception_isolated () =
+  Parallel.with_pool ~jobs:2 @@ fun pool ->
+  let results =
+    Parallel.run pool
+      [
+        (fun () -> 1);
+        (fun () -> failwith "boom");
+        (fun () -> 3);
+      ]
+  in
+  match results with
+  | [ Ok 1; Error (Failure msg); Ok 3 ] when msg = "boom" -> ()
+  | _ -> Alcotest.fail "expected [Ok 1; Error boom; Ok 3]"
+
+(* --- shutdown --- *)
+
+let test_shutdown_after_raise () =
+  let pool = Parallel.create ~jobs:2 () in
+  let results =
+    Parallel.run pool [ (fun () -> failwith "die"); (fun () -> 2) ]
+  in
+  Alcotest.(check int) "both results gathered" 2 (List.length results);
+  (* all worker domains must join even though a run raised *)
+  Parallel.shutdown pool;
+  Parallel.shutdown pool (* idempotent *);
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Parallel.run: pool is shut down") (fun () ->
+      ignore (Parallel.run pool [ (fun () -> 1) ]))
+
+(* --- RNG hygiene --- *)
+
+let test_rng_hygiene_fires () =
+  Parallel.with_pool ~jobs:2 ~check_rng_hygiene:true @@ fun pool ->
+  let results =
+    Parallel.run pool
+      [ (fun () -> ignore (Random.bits ())); (fun () -> ()) ]
+  in
+  (match results with
+  | [ Error (Parallel.Rng_hygiene _); Ok () ] -> ()
+  | _ -> Alcotest.fail "expected the Random-drawing run flagged, the clean one Ok")
+
+let test_rng_hygiene_passes_simulation () =
+  (* a real experiment run draws only from its own Dessim.Rng streams *)
+  Parallel.with_pool ~jobs:1 ~check_rng_hygiene:true @@ fun pool ->
+  let spec =
+    { (Experiment.default_spec (Experiment.Clique 5)) with mrai = 5. }
+  in
+  match Parallel.run pool [ (fun () -> Experiment.metrics spec) ] with
+  | [ Ok m ] -> Alcotest.(check bool) "converged" true m.converged
+  | [ Error exn ] -> Alcotest.fail (Printexc.to_string exn)
+  | _ -> Alcotest.fail "expected one result"
+
+(* --- sweep equivalence --- *)
+
+let clique_sweep ?pool ?jobs () =
+  Sweep.series ?pool ?jobs
+    ~make:(fun n -> Experiment.default_spec (Experiment.Clique n))
+    ~seeds:[ 1; 2; 3 ]
+    [ 5; 10 ]
+
+let test_series_deterministic_across_jobs () =
+  let norm series = List.map (fun (x, m) -> (x, strip m)) series in
+  let seq = norm (clique_sweep ()) in
+  List.iter
+    (fun jobs ->
+      let par = norm (clique_sweep ~jobs ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d identical to sequential" jobs)
+        true (seq = par))
+    [ 1; 2; 4 ]
+
+let test_series_robust_parallel_equals_sequential () =
+  (* mixed batch: sizes 4 and 6 run fine, origin 99 on a 5-node custom
+     graph raises in every seed — the robust sweep must record those
+     failures in seed order and still average the good runs, with the
+     pooled run byte-identical to the sequential one *)
+  let make = function
+    | `Good n -> { (Experiment.default_spec (Experiment.Clique n)) with mrai = 5. }
+    | `Bad ->
+        Experiment.default_spec
+          (Experiment.Custom
+             { graph = Topo.Generators.clique 5; origin = 99; name = "bad" })
+  in
+  let xs = [ `Good 4; `Bad; `Good 6 ] in
+  let seeds = [ 1; 2; 3 ] in
+  let norm series = List.map (fun (x, r) -> (x, strip_robust r)) series in
+  let seq = norm (Sweep.series_robust ~make ~seeds xs) in
+  let par = norm (Sweep.series_robust ~jobs:4 ~make ~seeds xs) in
+  Alcotest.(check bool) "parallel equals sequential" true (seq = par);
+  (* sanity on the sequential shape itself *)
+  (match List.assoc `Bad seq with
+  | { Sweep.metrics = None; attempted = 3; completed = 0; failures; _ } ->
+      Alcotest.(check (list int)) "failure seeds in order" [ 1; 2; 3 ]
+        (List.map (fun (f : Sweep.run_failure) -> f.seed) failures);
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun (f : Sweep.run_failure) ->
+          Alcotest.(check bool) "message names the origin check" true
+            (contains f.message "origin out of range"))
+        failures
+  | _ -> Alcotest.fail "bad point should fail all three seeds");
+  match List.assoc (`Good 4) seq with
+  | { Sweep.metrics = Some m; completed = 3; failures = []; _ } ->
+      Alcotest.(check bool) "good point averaged" true m.converged
+  | _ -> Alcotest.fail "good point should complete all seeds"
+
+let test_over_seeds_robust_parallel () =
+  let spec =
+    { (Experiment.default_spec (Experiment.Clique 6)) with mrai = 5. }
+  in
+  let seeds = [ 1; 2; 3; 4 ] in
+  let seq = strip_robust (Sweep.over_seeds_robust spec ~seeds) in
+  Parallel.with_pool ~jobs:3 @@ fun pool ->
+  let par = strip_robust (Sweep.over_seeds_robust ~pool spec ~seeds) in
+  Alcotest.(check bool) "pooled over_seeds_robust identical" true (seq = par)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          tc "run preserves order" test_run_preserves_order;
+          tc "map matches sequential" test_map_matches_sequential;
+          tc "jobs clamped" test_jobs_clamped;
+          tc "exception isolated" test_exception_isolated;
+          tc "shutdown after raise" test_shutdown_after_raise;
+        ] );
+      ( "rng-hygiene",
+        [
+          tc "global Random use flagged" test_rng_hygiene_fires;
+          tc "simulation runs clean" test_rng_hygiene_passes_simulation;
+        ] );
+      ( "sweep",
+        [
+          tc "series deterministic across jobs" test_series_deterministic_across_jobs;
+          tc "series_robust parallel = sequential"
+            test_series_robust_parallel_equals_sequential;
+          tc "over_seeds_robust with shared pool" test_over_seeds_robust_parallel;
+        ] );
+    ]
