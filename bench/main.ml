@@ -717,6 +717,80 @@ let interference () =
        ~rows);
   say ""
 
+(* --- observability counter registries (DESIGN.md §10) --- *)
+
+let counters_group ~pool =
+  say "=== Counters: observability registries over the golden fixtures ===@.";
+  say
+    "Each run carries a counters-only bus (no sink, so no event values@,\
+     are ever allocated); per-seed snapshots are merged across the@,\
+     worker pool the same way Parallel sweeps gather metrics.";
+  say "";
+  let seeds = seeds_default in
+  let batch =
+    List.concat_map
+      (fun (f : Golden.fixture) ->
+        List.map (fun seed -> (f.name, { f.spec with seed })) seeds)
+      Golden.fixtures
+  in
+  let results =
+    Parallel.map ~pool
+      (fun (name, spec) ->
+        let c = Obs.Counters.create () in
+        let obs = Obs.Bus.create ~counters:c () in
+        let r = Experiment.run ~obs spec in
+        (name, Obs.Counters.snapshot c, r.metrics.events_executed))
+      batch
+    |> List.filter_map (function Ok r -> Some r | Error _ -> None)
+  in
+  let merged name =
+    match List.filter_map
+            (fun (n, s, _) -> if n = name then Some s else None)
+            results
+    with
+    | [] -> None
+    | s :: rest -> Some (List.fold_left Obs.Counters.merge s rest)
+  in
+  let rows =
+    List.filter_map
+      (fun (f : Golden.fixture) ->
+        match merged f.name with
+        | None -> None
+        | Some (s : Obs.Counters.snapshot) ->
+            Some
+              [
+                f.name;
+                string_of_int s.s_updates_sent;
+                string_of_int s.s_updates_recv;
+                string_of_int (s.s_withdrawals_sent + s.s_withdrawals_recv);
+                string_of_int s.s_decision_runs;
+                string_of_int s.s_fib_changes;
+                string_of_int s.s_mrai_fires;
+                string_of_int s.s_loops_detected;
+                string_of_int s.s_events_executed;
+              ])
+      Golden.fixtures
+  in
+  print_string
+    (Report.table
+       ~title:
+         (Printf.sprintf "merged counters over seeds {%s}"
+            (String.concat "," (List.map string_of_int seeds)))
+       ~header:
+         [
+           "fixture"; "sent"; "recv"; "wdraw"; "decisions"; "fib"; "mrai";
+           "loops"; "events";
+         ]
+       ~rows);
+  say "";
+  (match List.map (fun (_, s, _) -> s) results with
+  | [] -> ()
+  | s :: rest ->
+      say "grand total across the batch:";
+      say "%a" Obs.Counters.pp
+        { (List.fold_left Obs.Counters.merge s rest) with s_nodes = [] });
+  List.fold_left (fun acc (_, _, ev) -> acc + ev) 0 results
+
 (* --- Bechamel micro-benchmarks --- *)
 
 let micro () =
@@ -830,6 +904,7 @@ let groups =
     ("provenance", fun ~pool:_ -> provenance (); 0);
     ("damping", fun ~pool:_ -> damping (); 0);
     ("interference", fun ~pool:_ -> interference (); 0);
+    ("counters", fun ~pool -> counters_group ~pool);
     ("micro", fun ~pool:_ -> micro (); 0);
   ]
 

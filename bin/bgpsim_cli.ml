@@ -201,36 +201,157 @@ let seed_list ~seed ~seeds = List.init (Stdlib.max 1 seeds) (fun i -> seed + i)
 
 (* --- run --- *)
 
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured event trace of the first seed's run as JSONL \
+           to $(docv) and print its digest (the golden-trace fixture \
+           format).")
+
+let counters_flag =
+  Arg.(
+    value & flag
+    & info [ "counters" ]
+        ~doc:
+          "Collect per-node and global counters (messages, decision runs, \
+           FIB changes, queue-depth high-water marks) and print the merged \
+           registry across all seeds/workers.")
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Profile the event engine: per-event-tag wall-clock totals and \
+           histograms, merged across all seeds/workers.")
+
 let run_cmd =
   let action topology event scenario invariants max_events max_vtime
-      enhancement mrai seed seeds jobs =
+      enhancement mrai seed seeds jobs trace_file counters profile =
     let spec =
       spec_of ?scenario ~invariants ~max_events ?max_vtime topology event
         enhancement mrai seed
     in
-    let robust =
-      Bgpsim.Sweep.over_seeds_robust ~jobs spec ~seeds:(seed_list ~seed ~seeds)
-    in
+    let seedl = seed_list ~seed ~seeds in
     Format.printf "%s  event=%s  enhancement=%a  mrai=%gs  seeds=%d@."
       (Bgpsim.Experiment.topology_name topology)
       (event_name spec.event) Bgp.Enhancement.pp enhancement mrai seeds;
-    (match robust.metrics with
-    | Some m -> Format.printf "@.%a@." Metrics.Run_metrics.pp m
-    | None -> Format.printf "@.no run completed@.");
-    if robust.non_converged > 0 then
-      Format.printf "@.%d of %d run(s) hit a budget (non-converged)@."
-        robust.non_converged robust.completed;
-    if robust.failures <> [] then
-      Format.printf "@.%s@." (Bgpsim.Sweep.failures_table robust.failures)
+    if trace_file = None && not (counters || profile) then begin
+      let robust = Bgpsim.Sweep.over_seeds_robust ~jobs spec ~seeds:seedl in
+      (match robust.metrics with
+      | Some m -> Format.printf "@.%a@." Metrics.Run_metrics.pp m
+      | None -> Format.printf "@.no run completed@.");
+      if robust.non_converged > 0 then
+        Format.printf "@.%d of %d run(s) hit a budget (non-converged)@."
+          robust.non_converged robust.completed;
+      if robust.failures <> [] then
+        Format.printf "@.%s@." (Bgpsim.Sweep.failures_table robust.failures)
+    end
+    else begin
+      (* Observability path: each seed runs with its own bus (the JSONL
+         sink rides on the first seed only); counter snapshots and
+         profiles are merged across workers after the ordered gather. *)
+      let outcomes =
+        Bgpsim.Parallel.map ~jobs
+          (fun (i, sd) ->
+            let regs = if counters then Some (Obs.Counters.create ()) else None in
+            let sink =
+              match trace_file with
+              | Some path when i = 0 -> Obs.Sink.jsonl_file path
+              | Some _ | None -> Obs.Sink.null
+            in
+            let obs = Obs.Bus.create ~sink ?counters:regs () in
+            let prof = if profile then Some (Obs.Profile.create ()) else None in
+            let result =
+              Fun.protect
+                ~finally:(fun () -> Obs.Bus.close obs)
+                (fun () ->
+                  Bgpsim.Experiment.run ~obs ?profile:prof { spec with seed = sd })
+            in
+            (result.metrics, Option.map Obs.Counters.snapshot regs, prof))
+          (List.mapi (fun i sd -> (i, sd)) seedl)
+      in
+      let ok = List.filter_map Result.to_option outcomes in
+      let failed = List.length outcomes - List.length ok in
+      (match List.map (fun (m, _, _) -> m) ok with
+      | [] -> Format.printf "@.no run completed@."
+      | ms -> Format.printf "@.%a@." Metrics.Run_metrics.pp (Metrics.Run_metrics.mean ms));
+      if failed > 0 then Format.printf "@.%d run(s) failed@." failed;
+      (match trace_file with
+      | Some path when Sys.file_exists path ->
+          Format.printf "@.trace %s  digest %s@." path
+            (Obs.Trace_digest.of_file path)
+      | Some _ | None -> ());
+      (match List.filter_map (fun (_, c, _) -> c) ok with
+      | [] -> ()
+      | s :: rest ->
+          Format.printf "@.%a" Obs.Counters.pp
+            (List.fold_left Obs.Counters.merge s rest));
+      match List.filter_map (fun (_, _, p) -> p) ok with
+      | [] -> ()
+      | p :: rest ->
+          List.iter (fun src -> Obs.Profile.merge_into ~src ~dst:p) rest;
+          Format.printf "@.%a" Obs.Profile.pp p
+    end
   in
   let term =
     Term.(
       const action $ topology_arg $ event_arg $ scenario_arg $ invariants_arg
       $ max_events_arg $ max_vtime_arg $ enhancement_arg $ mrai_arg $ seed_arg
-      $ seeds_arg $ jobs_arg)
+      $ seeds_arg $ jobs_arg $ trace_file_arg $ counters_flag $ profile_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one failure scenario and print its metrics")
+    term
+
+(* --- golden --- *)
+
+let golden_cmd =
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "Instead of printing, compare the recomputed digests against the \
+             committed fixture file and exit nonzero on any mismatch.")
+  in
+  let action check =
+    match check with
+    | None -> List.iter print_endline (Bgpsim.Golden.digest_lines ())
+    | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        let expected = Bgpsim.Golden.parse_expected text in
+        let bad = ref 0 in
+        List.iter
+          (fun (f : Bgpsim.Golden.fixture) ->
+            let got = Bgpsim.Golden.digest f in
+            match List.assoc_opt f.name expected with
+            | Some want when String.equal want got ->
+                Printf.printf "ok   %s %s\n" f.name got
+            | Some want ->
+                incr bad;
+                Printf.printf "FAIL %s expected %s got %s\n" f.name want got
+            | None ->
+                incr bad;
+                Printf.printf "FAIL %s missing from %s (got %s)\n" f.name path
+                  got)
+          Bgpsim.Golden.fixtures;
+        if !bad > 0 then exit 1
+  in
+  let term = Term.(const action $ check_arg) in
+  Cmd.v
+    (Cmd.info "golden"
+       ~doc:
+         "Print (or --check) the golden-trace digests of the canonical runs; \
+          regenerate the committed fixtures with 'golden > \
+          test/golden_digests.expected'")
     term
 
 (* --- sweep --- *)
@@ -526,4 +647,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; sweep_cmd; topo_cmd; trace_cmd; figures_cmd ]))
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; topo_cmd; trace_cmd; figures_cmd; golden_cmd ]))

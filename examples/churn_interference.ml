@@ -22,7 +22,7 @@ let () =
       let o = Bgp.Multi_sim.run ?churn ~graph ~origins ~victim:0 ~seed:1 () in
       let fib = List.assoc o.victim o.prefixes in
       let loops =
-        Loopscan.Scanner.scan ~fib ~origin:victim_origin ~from:o.t_fail
+        Loopscan.Scanner.scan ~fib ~origin:victim_origin ~from:o.t_fail ()
       in
       Format.printf
         "%-16s victim conv=%6.1fs  victim loops=%2d  victim msgs=%4d  bg msgs=%5d@."

@@ -19,7 +19,7 @@ let run_with ~policy_name ~policy ~graph ~origin ~seed =
       ~window:(outcome.t_fail, window_end)
       ~seed:(seed + 77) ~ratio_cutoff:outcome.convergence_end ()
   in
-  let loops = Loopscan.Scanner.scan ~fib ~origin ~from:outcome.t_fail in
+  let loops = Loopscan.Scanner.scan ~fib ~origin ~from:outcome.t_fail () in
   Format.printf
     "%-14s conv=%6.1fs  ttl-exh=%6d  ratio=%.3f  loops=%d  msgs=%d@."
     policy_name

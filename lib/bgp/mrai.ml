@@ -5,18 +5,20 @@ type 'msg t = {
   engine : Dessim.Engine.t;
   draw_interval : unit -> float;
   transmit : 'msg -> bool;
+  on_fire : (unit -> unit) option;
   mutable running : bool;
   mutable handle : Dessim.Engine.handle option;
   pend : 'msg Queue.t;
       (* Collapse keeps at most one element; Fifo keeps them all. *)
 }
 
-let create ?(mode = Collapse) ~engine ~draw_interval ~transmit () =
+let create ?(mode = Collapse) ?on_fire ~engine ~draw_interval ~transmit () =
   {
     mode;
     engine;
     draw_interval;
     transmit;
+    on_fire;
     running = false;
     handle = None;
     pend = Queue.create ();
@@ -29,11 +31,15 @@ let enqueue t msg =
 let rec start_timer t =
   let delay = t.draw_interval () in
   t.running <- true;
-  t.handle <- Some (Dessim.Engine.schedule_after t.engine ~delay (fun () -> fire t))
+  t.handle <-
+    Some
+      (Dessim.Engine.schedule_after ~tag:"mrai-fire" t.engine ~delay (fun () ->
+           fire t))
 
 and fire t =
   t.running <- false;
   t.handle <- None;
+  (match t.on_fire with None -> () | Some f -> f ());
   (* Drain suppressed duplicates without restarting the timer; restart
      only when something really left. *)
   let rec drain () =

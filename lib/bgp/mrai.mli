@@ -28,14 +28,16 @@ type mode =
 
 val create :
   ?mode:mode ->
+  ?on_fire:(unit -> unit) ->
   engine:Dessim.Engine.t ->
   draw_interval:(unit -> float) ->
   transmit:('msg -> bool) ->
   unit ->
   'msg t
 (** [transmit] performs the actual send and returns whether a message
-    really left (false = suppressed duplicate).  [mode] defaults to
-    [Collapse]. *)
+    really left (false = suppressed duplicate).  [on_fire] is invoked
+    at the start of each timer expiry, before any pending message is
+    transmitted (observability hook).  [mode] defaults to [Collapse]. *)
 
 val offer : 'msg t -> 'msg -> unit
 (** Rate-limited send. *)

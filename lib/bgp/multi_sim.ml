@@ -21,7 +21,8 @@ let link_key a b = if a < b then (a, b) else (b, a)
 
 let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     ?(max_events = 40_000_000) ?max_vtime
-    ?(invariants = Faults.Invariant.Off) ~graph ~origins ~victim ~seed () =
+    ?(invariants = Faults.Invariant.Off) ?(obs = Obs.Bus.off) ~graph ~origins
+    ~victim ~seed () =
   Netcore.Params.validate params;
   Config.validate config;
   let n = Topo.Graph.n_nodes graph in
@@ -72,9 +73,12 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
       let link = Netcore.Link.create ~a ~b ~delay:params.link_delay in
       if Faults.Invariant.enabled checker then
         Netcore.Link.attach_checker link checker;
+      if Obs.Bus.enabled obs then Netcore.Link.attach_obs link obs;
       Hashtbl.add links (link_key a b) link)
     (Topo.Graph.edges graph);
-  let node_procs = Array.init n (fun _ -> Netcore.Node_proc.create ()) in
+  let node_procs =
+    Array.init n (fun i -> Netcore.Node_proc.create ~obs ~node:i ())
+  in
   let speakers = Array.make n None in
   let speaker i =
     match speakers.(i) with Some s -> s | None -> assert false
@@ -106,7 +110,11 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
       | None -> invalid_arg "Multi_sim: emit to non-neighbor"
     in
     let now = Dessim.Engine.now engine in
+    let withdraw =
+      match (msg : Msg.t) with Withdraw _ -> true | Announce _ -> false
+    in
     Netcore.Trace.log_send trace ~time:now ~src ~dst:peer ~kind:(Msg.kind msg);
+    Obs.Bus.update_sent obs ~time:now ~src ~dst:peer ~withdraw;
     if now >= !t_fail_ref then
       if Prefix.equal (Msg.prefix msg) victim_prefix then begin
         incr victim_msgs;
@@ -119,6 +127,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
           Netcore.Trace.log_process trace
             ~time:(Dessim.Engine.now engine)
             ~node:peer ~from:src ~kind:(Msg.kind msg);
+          Obs.Bus.update_recv obs
+            ~time:(Dessim.Engine.now engine)
+            ~node:peer ~from:src ~withdraw;
           Speaker.handle_msg (speaker peer) ~from:src msg)
     in
     ignore (Netcore.Link.send link ~engine ~from:src ~deliver : bool)
@@ -132,7 +143,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     let rng = Dessim.Rng.split root_rng ~label:("speaker-" ^ string_of_int i) in
     speakers.(i) <-
       Some
-        (Speaker.create ~checker ~engine ~config ~rng ~node:i
+        (Speaker.create ~checker ~obs ~engine ~config ~rng ~node:i
            ~peers:(Topo.Graph.neighbors graph i)
            ~emit:(emit_from i)
            ~on_next_hop_change:(on_next_hop_change_for i)
@@ -142,7 +153,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
   List.iter2
     (fun origin prefix ->
       let (_ : Dessim.Engine.handle) =
-        Dessim.Engine.schedule engine ~at:0. (fun () ->
+        Dessim.Engine.schedule ~tag:"originate" engine ~at:0. (fun () ->
             Speaker.originate (speaker origin) prefix)
       in
       ())
@@ -154,7 +165,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
   (* the victim's T_down *)
   let victim_origin = List.nth origins victim in
   let (_ : Dessim.Engine.handle) =
-    Dessim.Engine.schedule engine ~at:t_fail (fun () ->
+    Dessim.Engine.schedule ~tag:"inject" engine ~at:t_fail (fun () ->
         Speaker.withdraw_local (speaker victim_origin) victim_prefix)
   in
   (* background churn *)
@@ -168,11 +179,11 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
           for k = 0 to c.cycles - 1 do
             let base = t_fail +. (float_of_int k *. c.period) in
             let (_ : Dessim.Engine.handle) =
-              Dessim.Engine.schedule engine ~at:base (fun () ->
+              Dessim.Engine.schedule ~tag:"inject" engine ~at:base (fun () ->
                   Speaker.withdraw_local (speaker origin) prefix)
             in
             let (_ : Dessim.Engine.handle) =
-              Dessim.Engine.schedule engine
+              Dessim.Engine.schedule ~tag:"inject" engine
                 ~at:(base +. (c.period /. 2.))
                 (fun () -> Speaker.originate (speaker origin) prefix)
             in
@@ -180,6 +191,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
           done)
         c.flappers);
   Dessim.Engine.run ?until:max_vtime ~max_events engine;
+  (match Obs.Bus.counters obs with
+  | Some c -> Obs.Counters.add_events c (Dessim.Engine.events_executed engine)
+  | None -> ());
   let termination =
     if Dessim.Engine.events_executed engine >= max_events then
       Routing_sim.Event_budget

@@ -48,6 +48,7 @@ val run :
   ?max_events:int ->
   ?max_vtime:float ->
   ?invariants:Faults.Invariant.mode ->
+  ?obs:Obs.Bus.t ->
   graph:Topo.Graph.t ->
   origins:int list ->
   victim:int ->
@@ -57,6 +58,9 @@ val run :
 (** [run ~graph ~origins ~victim ~seed ()] originates one prefix per
     origin, converges, then withdraws the prefix of [origins[victim]].
     With [churn], the listed origins flap for the configured number of
-    cycles starting at the failure time.  @raise Invalid_argument on an
+    cycles starting at the failure time.  [obs] (default {!Obs.Bus.off})
+    receives message, node-occupancy and drop events plus counters; FIB
+    changes are not emitted here (the event stream carries no prefix
+    discriminator).  @raise Invalid_argument on an
     empty or out-of-range [origins]/[victim], duplicate origins, or a
     flapper index equal to [victim]. *)

@@ -39,7 +39,7 @@ let link_key a b = if a < b then (a, b) else (b, a)
 
 let run ?(params = Netcore.Params.default) ?(config = Config.default)
     ?(max_events = 20_000_000) ?max_vtime ?(invariants = Faults.Invariant.Off)
-    ~graph ~origin ~event ~seed () =
+    ?(obs = Obs.Bus.off) ?profile ~graph ~origin ~event ~seed () =
   Netcore.Params.validate params;
   Config.validate config;
   let n = Topo.Graph.n_nodes graph in
@@ -66,6 +66,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
       invalid_arg "Routing_sim.run: max_vtime must be positive"
   | Some _ | None -> ());
   let engine = Dessim.Engine.create () in
+  (match profile with
+  | Some p -> Dessim.Engine.set_step_profiler engine (Obs.Profile.step p)
+  | None -> ());
   let checker = Faults.Invariant.create invariants in
   if Faults.Invariant.enabled checker then
     Dessim.Engine.set_clock_monitor engine (fun ~old_time ~new_time ->
@@ -83,6 +86,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
       let link = Netcore.Link.create ~a ~b ~delay:params.link_delay in
       if Faults.Invariant.enabled checker then
         Netcore.Link.attach_checker link checker;
+      if Obs.Bus.enabled obs then Netcore.Link.attach_obs link obs;
       Hashtbl.add links (link_key a b) link)
     (Topo.Graph.edges graph);
   let link_of a b =
@@ -91,7 +95,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
     | None ->
         invalid_arg (Printf.sprintf "Routing_sim: no link (%d,%d)" a b)
   in
-  let node_procs = Array.init n (fun _ -> Netcore.Node_proc.create ()) in
+  let node_procs =
+    Array.init n (fun i -> Netcore.Node_proc.create ~obs ~node:i ())
+  in
   let speakers = Array.make n None in
   let speaker i =
     match speakers.(i) with
@@ -104,15 +110,24 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
   in
   let emit_from src ~peer msg =
     let link = link_of src peer in
+    let withdraw =
+      match (msg : Msg.t) with Withdraw _ -> true | Announce _ -> false
+    in
     Netcore.Trace.log_send trace
       ~time:(Dessim.Engine.now engine)
       ~src ~dst:peer ~kind:(Msg.kind msg);
+    Obs.Bus.update_sent obs
+      ~time:(Dessim.Engine.now engine)
+      ~src ~dst:peer ~withdraw;
     let deliver () =
       Netcore.Node_proc.submit node_procs.(peer) ~engine
         ~delay:(draw_proc_delay ()) ~work:(fun () ->
           Netcore.Trace.log_process trace
             ~time:(Dessim.Engine.now engine)
             ~node:peer ~from:src ~kind:(Msg.kind msg);
+          Obs.Bus.update_recv obs
+            ~time:(Dessim.Engine.now engine)
+            ~node:peer ~from:src ~withdraw;
           Speaker.handle_msg (speaker peer) ~from:src msg)
     in
     (* A send onto a dead link is dropped silently, like packets into a
@@ -120,6 +135,10 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
     ignore (Netcore.Link.send link ~engine ~from:src ~deliver : bool)
   in
   let prefix = Prefix.make ~origin () in
+  if Obs.Bus.enabled obs then
+    Netcore.Fib_history.set_on_change (Netcore.Trace.fib trace)
+      (fun { Netcore.Fib_history.time; node; next_hop } ->
+        Obs.Bus.fib_change obs ~time ~node ~next_hop);
   let on_next_hop_change_for node ~prefix:p ~next_hop =
     assert (Prefix.equal p prefix);
     Netcore.Fib_history.record (Netcore.Trace.fib trace)
@@ -130,7 +149,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
     let rng = Dessim.Rng.split root_rng ~label:("speaker-" ^ string_of_int i) in
     speakers.(i) <-
       Some
-        (Speaker.create ~checker ~engine ~config ~rng ~node:i
+        (Speaker.create ~checker ~obs ~engine ~config ~rng ~node:i
            ~peers:(Topo.Graph.neighbors graph i)
            ~emit:(emit_from i)
            ~on_next_hop_change:(on_next_hop_change_for i)
@@ -145,6 +164,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
       Netcore.Trace.log_link_event trace
         ~time:(Dessim.Engine.now engine)
         ~a ~b ~up:false;
+      Obs.Bus.link_state obs ~time:(Dessim.Engine.now engine) ~a ~b ~up:false;
       Speaker.session_down (speaker a) ~peer:b;
       Speaker.session_down (speaker b) ~peer:a
     end
@@ -156,6 +176,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
       Netcore.Trace.log_link_event trace
         ~time:(Dessim.Engine.now engine)
         ~a ~b ~up:true;
+      Obs.Bus.link_state obs ~time:(Dessim.Engine.now engine) ~a ~b ~up:true;
       Speaker.session_up (speaker a) ~peer:b;
       Speaker.session_up (speaker b) ~peer:a
     end
@@ -217,7 +238,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
   | Tup -> ()
   | Tdown | Tlong _ | Trecover _ | Tshort _ | Scenario _ ->
       let (_ : Dessim.Engine.handle) =
-        Dessim.Engine.schedule engine ~at:0. (fun () ->
+        Dessim.Engine.schedule ~tag:"originate" engine ~at:0. (fun () ->
             Speaker.originate (speaker origin) prefix)
       in
       ());
@@ -227,7 +248,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
   (* Phase 2: failure injection. *)
   let t_fail = warmup_end +. failure_gap in
   let schedule_at at f =
-    let (_ : Dessim.Engine.handle) = Dessim.Engine.schedule engine ~at f in
+    let (_ : Dessim.Engine.handle) =
+      Dessim.Engine.schedule ~tag:"inject" engine ~at f
+    in
     ()
   in
   (match event with
@@ -260,6 +283,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
           schedule_at (t_fail +. at) (fun () -> apply_action action))
         (Faults.Scenario.compile scenario ~graph ~rng:scenario_rng));
   Dessim.Engine.run ?until:max_vtime ~max_events engine;
+  (match Obs.Bus.counters obs with
+  | Some c -> Obs.Counters.add_events c (Dessim.Engine.events_executed engine)
+  | None -> ());
   let termination =
     if Dessim.Engine.events_executed engine >= max_events then Event_budget
     else

@@ -78,6 +78,8 @@ val run :
   ?max_events:int ->
   ?max_vtime:float ->
   ?invariants:Faults.Invariant.mode ->
+  ?obs:Obs.Bus.t ->
+  ?profile:Obs.Profile.t ->
   graph:Topo.Graph.t ->
   origin:int ->
   event:event ->
@@ -96,6 +98,12 @@ val run :
     engine clock, every link delivery and every speaker decision;
     [Strict] raises {!Faults.Invariant.Violation} on the first breach,
     [Record] counts into [invariant_violations].
+
+    [obs] (default {!Obs.Bus.off}) receives the full trace-event stream
+    (message send/recv, FIB changes, link transitions, MRAI fires, node
+    occupancy, drops) and counter bumps.  [profile], when given, is fed
+    per-event-tag wall/virtual-time samples via the engine's step
+    profiler.
     @raise Invalid_argument if [origin] is out of range, the graph is
     not connected, an event link does not exist, or a scenario fails
     validation. *)

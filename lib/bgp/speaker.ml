@@ -22,6 +22,7 @@ type t = {
   config : Config.t;
   rng : Dessim.Rng.t;
   checker : Faults.Invariant.t;
+  obs : Obs.Bus.t;
   live_peers : Peer_table.t;
   mutable alive : bool;
   emit : peer:int -> Msg.t -> unit;
@@ -30,8 +31,8 @@ type t = {
   mutable route_changes : int;
 }
 
-let create ?(checker = Faults.Invariant.off) ~engine ~config ~rng ~node ~peers
-    ~emit ~on_next_hop_change () =
+let create ?(checker = Faults.Invariant.off) ?(obs = Obs.Bus.off) ~engine
+    ~config ~rng ~node ~peers ~emit ~on_next_hop_change () =
   Config.validate config;
   {
     node;
@@ -39,6 +40,7 @@ let create ?(checker = Faults.Invariant.off) ~engine ~config ~rng ~node ~peers
     config;
     rng;
     checker;
+    obs;
     live_peers = Peer_table.create peers;
     alive = true;
     emit;
@@ -99,8 +101,18 @@ let out_state t st peer =
                 t.emit ~peer msg;
                 true)
       in
+      let on_fire =
+        (* Only pay for the closure when the bus is live. *)
+        if Obs.Bus.enabled t.obs then
+          Some
+            (fun () ->
+              Obs.Bus.mrai_fire t.obs
+                ~time:(Dessim.Engine.now t.engine)
+                ~node:t.node ~peer)
+        else None
+      in
       let mrai =
-        Mrai.create ~mode:t.config.rate_limiter ~engine:t.engine
+        Mrai.create ~mode:t.config.rate_limiter ?on_fire ~engine:t.engine
           ~draw_interval:(draw_mrai_interval t) ~transmit ()
       in
       let out = { mrai; advertised } in
@@ -239,6 +251,7 @@ let check_rib_coherence t st =
                 peer)
 
 let recompute t st =
+  Obs.Bus.decision_run t.obs ~node:t.node;
   let new_best = best_candidate t st in
   (if not (equal_best st.best new_best) then begin
     let old_nh = next_hop_of st.best and new_nh = next_hop_of new_best in
@@ -296,7 +309,8 @@ let rec schedule_reuse t st =
       st.reuse_timer <-
         Option.map
           (fun time ->
-            Dessim.Engine.schedule t.engine ~at:(Float.max time now) (fun () ->
+            Dessim.Engine.schedule ~tag:"damp-reuse" t.engine
+              ~at:(Float.max time now) (fun () ->
                 st.reuse_timer <- None;
                 recompute t st;
                 schedule_reuse t st))
@@ -308,6 +322,9 @@ let originate t prefix =
   if t.alive then
     let st = dest_state t prefix in
     if not st.local then begin
+      Obs.Bus.originate t.obs
+        ~time:(Dessim.Engine.now t.engine)
+        ~node:t.node;
       st.local <- true;
       recompute t st
     end
@@ -316,6 +333,9 @@ let withdraw_local t prefix =
   if t.alive then
     let st = dest_state t prefix in
     if st.local then begin
+      Obs.Bus.local_withdraw t.obs
+        ~time:(Dessim.Engine.now t.engine)
+        ~node:t.node;
       st.local <- false;
       recompute t st
     end

@@ -23,6 +23,7 @@ type t
 
 val create :
   ?checker:Faults.Invariant.t ->
+  ?obs:Obs.Bus.t ->
   engine:Dessim.Engine.t ->
   config:Config.t ->
   rng:Dessim.Rng.t ->
@@ -41,7 +42,11 @@ val create :
     [checker] (default {!Faults.Invariant.off}) receives runtime
     invariant reports: Loc-RIB/Adj-RIB-In coherence and next-hop
     liveness after every decision, poison-reverse soundness after every
-    Adj-RIB-In mutation. *)
+    Adj-RIB-In mutation.
+
+    [obs] (default {!Obs.Bus.off}) receives [Originate]/[Withdrawal]
+    trace events, per-peer [Mrai_fire] events and decision-process
+    counter bumps. *)
 
 val node : t -> int
 

@@ -178,26 +178,62 @@ let status_name = function
         (Bgp.Routing_sim.termination_name termination)
         events_executed last_vtime
 
-let run spec =
+(* Analysis fallbacks for runs cut off by a budget: a truncated FIB
+   history can leave the replay window degenerate or the scanner's
+   starting state inside a loop, and both raise [Invalid_argument].
+   Such a run must still produce (timed) metrics — dropping it would
+   bias sweeps toward the well-behaved runs — so the analyses degrade
+   to empty results instead of propagating. *)
+let empty_replay : Traffic.Replay.result =
+  {
+    sent = 0;
+    sent_for_ratio = 0;
+    delivered = 0;
+    unreachable = 0;
+    exhausted = 0;
+    first_exhaustion = None;
+    last_exhaustion = None;
+    exhaustion_times = [||];
+  }
+
+let empty_loops : Loopscan.Scanner.report =
+  {
+    loops = [];
+    first_loop_birth = None;
+    last_loop_death = None;
+    max_concurrent = 0;
+  }
+
+let run ?obs ?profile spec =
   let wall_start = Unix.gettimeofday () in
   let graph, origin, event = resolve spec in
   let config = Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement in
   let outcome =
     Bgp.Routing_sim.run ~params:spec.params ~config
       ~max_events:spec.max_events ?max_vtime:spec.max_vtime
-      ~invariants:spec.invariants ~graph ~origin ~event ~seed:spec.seed ()
+      ~invariants:spec.invariants ?obs ?profile ~graph ~origin ~event
+      ~seed:spec.seed ()
   in
   let fib = Netcore.Trace.fib outcome.trace in
   let window_end = outcome.convergence_end +. spec.replay_tail in
+  let tolerant f fallback =
+    if outcome.converged then f ()
+    else try f () with Invalid_argument _ -> fallback
+  in
   let replay =
-    Traffic.Replay.run ~fib ~origin ~n:(Topo.Graph.n_nodes graph)
-      ~link_delay:spec.params.link_delay ~ttl:spec.params.ttl
-      ~rate:spec.params.pkt_rate
-      ~window:(outcome.t_fail, window_end)
-      ~seed:(spec.seed + 0x7ea) ~ratio_cutoff:outcome.convergence_end ()
+    tolerant
+      (fun () ->
+        Traffic.Replay.run ~fib ~origin ~n:(Topo.Graph.n_nodes graph)
+          ~link_delay:spec.params.link_delay ~ttl:spec.params.ttl
+          ~rate:spec.params.pkt_rate
+          ~window:(outcome.t_fail, window_end)
+          ~seed:(spec.seed + 0x7ea) ~ratio_cutoff:outcome.convergence_end ())
+      empty_replay
   in
   let loops =
-    Loopscan.Scanner.scan ~fib ~origin ~from:outcome.t_fail
+    tolerant
+      (fun () -> Loopscan.Scanner.scan ?obs ~fib ~origin ~from:outcome.t_fail ())
+      empty_loops
   in
   let metrics =
     Metrics.Run_metrics.make

@@ -100,7 +100,14 @@ type run = {
   metrics : Metrics.Run_metrics.t;
 }
 
-val run : spec -> run
+val run : ?obs:Obs.Bus.t -> ?profile:Obs.Profile.t -> spec -> run
+(** Runs the full pipeline.  [obs] (default {!Obs.Bus.off}) is threaded
+    through the routing simulation {e and} the loop scanner, so a trace
+    carries both live protocol events and post-hoc loop lifecycles;
+    [profile] collects per-event-tag timings.  Every exit — converged
+    or budget-exhausted — yields timed metrics: on non-converged runs
+    the replay/scan analyses fall back to empty results if the
+    truncated history cannot be analyzed. *)
 
 val metrics : spec -> Metrics.Run_metrics.t
 (** [metrics spec = (run spec).metrics]. *)

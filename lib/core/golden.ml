@@ -1,0 +1,66 @@
+(* Golden-trace oracle: canonical seeded runs whose trace digests are
+   committed to the repository (test/golden_digests.expected) and
+   asserted by test_golden and CI.  Any behavioral drift in the
+   simulator — event order, timing, decision process — changes the
+   digest and fails tier-1, not just metric-level drift.
+
+   Regenerate after an intentional behavior change with:
+
+     dune exec bin/bgpsim_cli.exe -- golden > test/golden_digests.expected
+*)
+
+type fixture = { name : string; spec : Experiment.spec }
+
+let clique5_tdown =
+  { name = "clique5-tdown"; spec = Experiment.default_spec (Clique 5) }
+
+let bclique5_tlong =
+  {
+    name = "bclique5-tlong";
+    spec = { (Experiment.default_spec (B_clique 5)) with event = Tlong };
+  }
+
+let chain6_withdraw =
+  {
+    name = "chain6-withdraw";
+    spec =
+      Experiment.default_spec
+        (Custom
+           { graph = Topo.Generators.chain 6; origin = 0; name = "chain-6" });
+  }
+
+let fixtures = [ clique5_tdown; bclique5_tlong; chain6_withdraw ]
+
+let find name = List.find_opt (fun f -> f.name = name) fixtures
+
+(* The canonical run for CI's uploaded artifact and the CLI acceptance
+   check: `bgpsim_cli run --trace out.jsonl` on Clique 5 / T_down. *)
+let canonical = clique5_tdown
+
+let events f =
+  let sink, contents = Obs.Sink.memory () in
+  let obs = Obs.Bus.create ~sink () in
+  let (_ : Experiment.run) = Experiment.run ~obs f.spec in
+  contents ()
+
+let digest f = Obs.Trace_digest.of_events (events f)
+
+let digest_line f = Printf.sprintf "%s %s" f.name (digest f)
+
+let digest_lines () = List.map digest_line fixtures
+
+(* Fixture-file format: one "<name> <hex-md5>" pair per line; blank
+   lines and '#' comments are ignored. *)
+let parse_expected text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some i ->
+               Some
+                 ( String.sub line 0 i,
+                   String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)) ))

@@ -1,0 +1,40 @@
+(** Golden-trace fixtures: canonical seeded runs with committed trace
+    digests, the repository's behavioral-drift oracle.
+
+    Regeneration (after an intentional behavior change):
+    {[ dune exec bin/bgpsim_cli.exe -- golden > test/golden_digests.expected ]} *)
+
+type fixture = { name : string; spec : Experiment.spec }
+
+val clique5_tdown : fixture
+(** Clique 5, T_down, seed 1 — also the CLI acceptance scenario. *)
+
+val bclique5_tlong : fixture
+(** B-Clique 5 (10 nodes), canonical core-link T_long. *)
+
+val chain6_withdraw : fixture
+(** 6-node chain, origin 0 withdraws (T_down). *)
+
+val fixtures : fixture list
+
+val canonical : fixture
+(** The run whose JSONL trace CI uploads as an artifact
+    (= {!clique5_tdown}). *)
+
+val find : string -> fixture option
+
+val events : fixture -> Obs.Event.t list
+(** Run the fixture with a memory sink and return its trace. *)
+
+val digest : fixture -> string
+(** Hex md5 of the fixture's JSONL trace — equals the digest of the
+    file written by [bgpsim_cli run --trace] on the same scenario. *)
+
+val digest_line : fixture -> string
+(** ["<name> <digest>"] — the fixture-file line format. *)
+
+val digest_lines : unit -> string list
+
+val parse_expected : string -> (string * string) list
+(** Parse fixture-file text (["<name> <digest>"] lines; blanks and
+    [#] comments ignored). *)

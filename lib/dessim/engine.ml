@@ -1,12 +1,14 @@
 type handle = { mutable state : [ `Pending | `Cancelled | `Fired ] }
 
-type event = { action : unit -> unit; handle : handle }
+type event = { action : unit -> unit; handle : handle; tag : string option }
 
 type t = {
   queue : event Event_queue.t;
   mutable clock : float;
   mutable executed : int;
   mutable clock_monitor : (old_time:float -> new_time:float -> unit) option;
+  mutable profiler :
+    (time:float -> tag:string option -> run:(unit -> unit) -> unit) option;
 }
 
 let create ?(now = 0.) () =
@@ -15,23 +17,25 @@ let create ?(now = 0.) () =
     clock = now;
     executed = 0;
     clock_monitor = None;
+    profiler = None;
   }
 
 let set_clock_monitor t f = t.clock_monitor <- Some f
+let set_step_profiler t f = t.profiler <- Some f
 
 let now t = t.clock
 
-let schedule t ~at action =
+let schedule ?tag t ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now %g" at t.clock);
   let handle = { state = `Pending } in
-  Event_queue.push t.queue ~time:at { action; handle };
+  Event_queue.push t.queue ~time:at { action; handle; tag };
   handle
 
-let schedule_after t ~delay action =
+let schedule_after ?tag t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  schedule t ~at:(t.clock +. delay) action
+  schedule ?tag t ~at:(t.clock +. delay) action
 
 let cancel handle =
   match handle.state with
@@ -54,7 +58,9 @@ let rec step t =
           t.clock <- time;
           ev.handle.state <- `Fired;
           t.executed <- t.executed + 1;
-          ev.action ();
+          (match t.profiler with
+          | None -> ev.action ()
+          | Some p -> p ~time ~tag:ev.tag ~run:ev.action);
           true)
 
 let run ?until ?max_events t =

@@ -16,10 +16,12 @@ val create : ?now:float -> unit -> t
 
 val now : t -> float
 
-val schedule : t -> at:float -> (unit -> unit) -> handle
-(** @raise Invalid_argument if [at < now t]. *)
+val schedule : ?tag:string -> t -> at:float -> (unit -> unit) -> handle
+(** [tag] labels the event for the step profiler (see
+    {!set_step_profiler}); it has no effect on execution.
+    @raise Invalid_argument if [at < now t]. *)
 
-val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+val schedule_after : ?tag:string -> t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f = schedule t ~at:(now t +. delay) f].
     @raise Invalid_argument if [delay < 0.]. *)
 
@@ -51,6 +53,14 @@ val set_clock_monitor : t -> (old_time:float -> new_time:float -> unit) -> unit
     the clock's current value and the fired event's timestamp.  Used by
     runtime invariant checkers to verify timestamp monotonicity from the
     outside; the engine itself already enforces it structurally. *)
+
+val set_step_profiler :
+  t -> (time:float -> tag:string option -> run:(unit -> unit) -> unit) -> unit
+(** Installs a wrapper around event execution: instead of calling the
+    event action directly, [step] calls the profiler with the event's
+    fire [time], its schedule-site [tag], and the action as [run].  The
+    profiler MUST call [run ()] exactly once.  Keeps the engine free of
+    wall-clock dependencies — the caller supplies the timing. *)
 
 val events_executed : t -> int
 (** Total live events executed since creation. *)

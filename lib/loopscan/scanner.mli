@@ -40,10 +40,17 @@ type report = {
 }
 
 val scan :
-  fib:Netcore.Fib_history.t -> origin:int -> from:float -> report
-(** [scan ~fib ~origin ~from] starts from the forwarding state just
+  ?obs:Obs.Bus.t ->
+  fib:Netcore.Fib_history.t ->
+  origin:int ->
+  from:float ->
+  unit ->
+  report
+(** [scan ~fib ~origin ~from ()] starts from the forwarding state just
     before [from] (which must be loop-free, e.g. a converged warm-up
-    state) and processes all changes at or after [from].
+    state) and processes all changes at or after [from].  [obs]
+    (default {!Obs.Bus.off}) receives [Loop_detected]/[Loop_resolved]
+    events, timestamped with the FIB-change virtual times.
     @raise Invalid_argument if the starting state already contains a
     loop. *)
 

@@ -9,6 +9,7 @@ type t = {
   mutable chaos : chaos option;
   mutable epoch_guard : bool;
   mutable checker : Faults.Invariant.t;
+  mutable obs : Obs.Bus.t;
 }
 
 let create ~a ~b ~delay =
@@ -23,6 +24,7 @@ let create ~a ~b ~delay =
     chaos = None;
     epoch_guard = true;
     checker = Faults.Invariant.off;
+    obs = Obs.Bus.off;
   }
 
 let endpoints t = (t.a, t.b)
@@ -44,6 +46,8 @@ let set_epoch_guard t on = t.epoch_guard <- on
 
 let attach_checker t checker = t.checker <- checker
 
+let attach_obs t obs = t.obs <- obs
+
 let fail t =
   if t.up then begin
     t.up <- false;
@@ -61,13 +65,22 @@ let send t ~engine ~from ~deliver =
     invalid_arg
       (Printf.sprintf "Link.send: node %d is not an endpoint of (%d,%d)" from
          t.a t.b);
-  if not t.up then false
+  let dst = if from = t.a then t.b else t.a in
+  let dropped ~time reason =
+    Obs.Bus.msg_dropped t.obs ~time ~a:from ~b:dst ~reason
+  in
+  if not t.up then begin
+    dropped ~time:(Dessim.Engine.now engine) "down";
+    false
+  end
   else begin
     let sent_epoch = t.epoch in
     let arrival () =
-      if t.up then
+      if t.up then begin
         if t.epoch = sent_epoch then deliver ()
-        else if not t.epoch_guard then begin
+        else if t.epoch_guard then
+          dropped ~time:(Dessim.Engine.now engine) "stale-epoch"
+        else begin
           (* Fault-injection knob: the stale-epoch drop is disabled, so
              the message crosses a fail/recover boundary — exactly what
              the invariant checker exists to catch. *)
@@ -78,6 +91,8 @@ let send t ~engine ~from ~deliver =
                 t.a t.b sent_epoch t.epoch);
           deliver ()
         end
+      end
+      else dropped ~time:(Dessim.Engine.now engine) "down"
     in
     let copies =
       match t.chaos with
@@ -88,9 +103,11 @@ let send t ~engine ~from ~deliver =
           let duplicated = dup > 0. && Dessim.Rng.float rng 1. < dup in
           if lost then 0 else if duplicated then 2 else 1
     in
+    if copies = 0 then dropped ~time:(Dessim.Engine.now engine) "loss";
     for _ = 1 to copies do
       let (_ : Dessim.Engine.handle) =
-        Dessim.Engine.schedule_after engine ~delay:t.delay arrival
+        Dessim.Engine.schedule_after ~tag:"link-deliver" engine ~delay:t.delay
+          arrival
       in
       ()
     done;

@@ -44,6 +44,11 @@ val attach_checker : t -> Faults.Invariant.t -> unit
 (** Routes this link's invariant reports (stale-epoch deliveries) to
     [checker]; defaults to {!Faults.Invariant.off}. *)
 
+val attach_obs : t -> Obs.Bus.t -> unit
+(** Routes this link's drop events ([Msg_dropped] with reason ["down"],
+    ["loss"], or ["stale-epoch"]) to the trace bus; defaults to
+    {!Obs.Bus.off}. *)
+
 val fail : t -> unit
 (** Takes the link down and invalidates in-flight messages.  Idempotent. *)
 

@@ -1,6 +1,12 @@
-type t = { mutable busy_until : float; mutable depth : int }
+type t = {
+  mutable busy_until : float;
+  mutable depth : int;
+  obs : Obs.Bus.t;
+  node : int;
+}
 
-let create () = { busy_until = neg_infinity; depth = 0 }
+let create ?(obs = Obs.Bus.off) ?(node = -1) () =
+  { busy_until = neg_infinity; depth = 0; obs; node }
 
 let busy_until t = t.busy_until
 
@@ -13,8 +19,10 @@ let submit t ~engine ~delay ~work =
   let completion = start +. delay in
   t.busy_until <- completion;
   t.depth <- t.depth + 1;
+  Obs.Bus.node_submit t.obs ~time:now ~node:t.node ~busy:(start > now)
+    ~depth:t.depth;
   let (_ : Dessim.Engine.handle) =
-    Dessim.Engine.schedule engine ~at:completion (fun () ->
+    Dessim.Engine.schedule ~tag:"proc-complete" engine ~at:completion (fun () ->
         t.depth <- t.depth - 1;
         work ())
   in

@@ -8,7 +8,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?obs:Obs.Bus.t -> ?node:int -> unit -> t
+(** [obs] (default {!Obs.Bus.off}) receives a queue-depth gauge sample
+    on every submit and a [Node_busy] event when a message arrives while
+    the CPU is occupied; [node] identifies this processor in those
+    records (default [-1] = anonymous, counted globally only). *)
 
 val busy_until : t -> float
 

@@ -1,0 +1,84 @@
+type t =
+  | Update_sent of { time : float; src : int; dst : int; withdraw : bool }
+  | Update_recv of { time : float; node : int; from : int; withdraw : bool }
+  | Originate of { time : float; node : int }
+  | Withdrawal of { time : float; node : int }
+  | Fib_change of { time : float; node : int; next_hop : int option }
+  | Mrai_fire of { time : float; node : int; peer : int }
+  | Node_busy of { time : float; node : int; depth : int }
+  | Link_state of { time : float; a : int; b : int; up : bool }
+  | Msg_dropped of { time : float; a : int; b : int; reason : string }
+  | Loop_detected of { time : float; members : int list; trigger : int }
+  | Loop_resolved of { time : float; members : int list }
+
+let time = function
+  | Update_sent { time; _ }
+  | Update_recv { time; _ }
+  | Originate { time; _ }
+  | Withdrawal { time; _ }
+  | Fib_change { time; _ }
+  | Mrai_fire { time; _ }
+  | Node_busy { time; _ }
+  | Link_state { time; _ }
+  | Msg_dropped { time; _ }
+  | Loop_detected { time; _ }
+  | Loop_resolved { time; _ } -> time
+
+let kind = function
+  | Update_sent _ -> "update_sent"
+  | Update_recv _ -> "update_recv"
+  | Originate _ -> "originate"
+  | Withdrawal _ -> "withdrawal"
+  | Fib_change _ -> "fib_change"
+  | Mrai_fire _ -> "mrai_fire"
+  | Node_busy _ -> "node_busy"
+  | Link_state _ -> "link_state"
+  | Msg_dropped _ -> "msg_dropped"
+  | Loop_detected _ -> "loop_detected"
+  | Loop_resolved _ -> "loop_resolved"
+
+(* Serialization must be byte-stable: golden-trace digests are computed
+   over these lines, so the float format is pinned here and nowhere
+   else.  %.12g round-trips every virtual time the simulator produces
+   (sums of uniform draws well above 1e-12 relative precision). *)
+let fmt_time t = Printf.sprintf "%.12g" t
+
+let msg_kind withdraw = if withdraw then "withdraw" else "announce"
+
+let int_list members =
+  "[" ^ String.concat "," (List.map string_of_int members) ^ "]"
+
+let to_json ev =
+  match ev with
+  | Update_sent { time; src; dst; withdraw } ->
+      Printf.sprintf {|{"ev":"update_sent","t":%s,"src":%d,"dst":%d,"kind":"%s"}|}
+        (fmt_time time) src dst (msg_kind withdraw)
+  | Update_recv { time; node; from; withdraw } ->
+      Printf.sprintf {|{"ev":"update_recv","t":%s,"node":%d,"from":%d,"kind":"%s"}|}
+        (fmt_time time) node from (msg_kind withdraw)
+  | Originate { time; node } ->
+      Printf.sprintf {|{"ev":"originate","t":%s,"node":%d}|} (fmt_time time) node
+  | Withdrawal { time; node } ->
+      Printf.sprintf {|{"ev":"withdrawal","t":%s,"node":%d}|} (fmt_time time) node
+  | Fib_change { time; node; next_hop } ->
+      Printf.sprintf {|{"ev":"fib_change","t":%s,"node":%d,"next_hop":%s}|}
+        (fmt_time time) node
+        (match next_hop with None -> "null" | Some nh -> string_of_int nh)
+  | Mrai_fire { time; node; peer } ->
+      Printf.sprintf {|{"ev":"mrai_fire","t":%s,"node":%d,"peer":%d}|}
+        (fmt_time time) node peer
+  | Node_busy { time; node; depth } ->
+      Printf.sprintf {|{"ev":"node_busy","t":%s,"node":%d,"depth":%d}|}
+        (fmt_time time) node depth
+  | Link_state { time; a; b; up } ->
+      Printf.sprintf {|{"ev":"link_state","t":%s,"a":%d,"b":%d,"up":%b}|}
+        (fmt_time time) a b up
+  | Msg_dropped { time; a; b; reason } ->
+      Printf.sprintf {|{"ev":"msg_dropped","t":%s,"a":%d,"b":%d,"reason":"%s"}|}
+        (fmt_time time) a b reason
+  | Loop_detected { time; members; trigger } ->
+      Printf.sprintf {|{"ev":"loop_detected","t":%s,"members":%s,"trigger":%d}|}
+        (fmt_time time) (int_list members) trigger
+  | Loop_resolved { time; members } ->
+      Printf.sprintf {|{"ev":"loop_resolved","t":%s,"members":%s}|}
+        (fmt_time time) (int_list members)

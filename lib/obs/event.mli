@@ -1,0 +1,27 @@
+(** Typed trace events emitted by the simulator when observability is on.
+
+    Every constructor carries the virtual time at which it happened.
+    The JSONL serialization is byte-stable across runs and platforms:
+    golden-trace digests are computed over [to_json] output. *)
+
+type t =
+  | Update_sent of { time : float; src : int; dst : int; withdraw : bool }
+  | Update_recv of { time : float; node : int; from : int; withdraw : bool }
+  | Originate of { time : float; node : int }
+  | Withdrawal of { time : float; node : int }
+  | Fib_change of { time : float; node : int; next_hop : int option }
+  | Mrai_fire of { time : float; node : int; peer : int }
+  | Node_busy of { time : float; node : int; depth : int }
+  | Link_state of { time : float; a : int; b : int; up : bool }
+  | Msg_dropped of { time : float; a : int; b : int; reason : string }
+  | Loop_detected of { time : float; members : int list; trigger : int }
+  | Loop_resolved of { time : float; members : int list }
+
+val time : t -> float
+(** Virtual time of the event. *)
+
+val kind : t -> string
+(** Stable lowercase tag, e.g. ["update_sent"]. *)
+
+val to_json : t -> string
+(** One-line JSON object (no trailing newline). Byte-stable. *)

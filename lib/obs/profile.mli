@@ -1,0 +1,31 @@
+(** Per-event-kind wall/virtual-time profiles for the dessim engine.
+
+    Install with [Dessim.Engine.set_step_profiler eng (Profile.step p)];
+    events carry string tags attached at schedule time. *)
+
+type kind_stats = {
+  mutable count : int;
+  mutable wall_total_s : float;
+  wall : Stats.Histogram.t;   (** wall time per event, 0..1ms, 10us buckets *)
+  vtime : Stats.Histogram.t;  (** virtual time of execution, 0..100s *)
+}
+
+type t
+
+val create : unit -> t
+
+val step : t -> time:float -> tag:string option -> run:(unit -> unit) -> unit
+(** Step-profiler callback for [Dessim.Engine.set_step_profiler]:
+    times [run ()] and records it under [tag] (["untagged"] if [None]). *)
+
+val record : t -> tag:string -> time:float -> wall_s:float -> unit
+(** Record one sample directly (used by tests). *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Accumulate [src] into [dst]; histograms share a fixed geometry so
+    profiles from parallel workers always merge. *)
+
+val kinds : t -> (string * kind_stats) list
+(** Sorted by tag. *)
+
+val pp : Format.formatter -> t -> unit

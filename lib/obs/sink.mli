@@ -1,0 +1,31 @@
+(** Pluggable destinations for trace events. *)
+
+type t
+
+val null : t
+(** Discards everything.  The bus compares against this value physically
+    to skip event construction entirely, so reuse [null] rather than
+    building an equivalent sink. *)
+
+val fn : (Event.t -> unit) -> t
+(** Wrap a callback. *)
+
+val memory : unit -> t * (unit -> Event.t list)
+(** Unbounded in-memory sink; the closure returns events in emit order. *)
+
+val ring : capacity:int -> t * (unit -> Event.t list)
+(** Bounded ring buffer keeping the last [capacity] events, in emit
+    order.  Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val jsonl : out_channel -> t
+(** Write one JSON object per line.  [close] flushes but does not close
+    the channel (caller owns it). *)
+
+val jsonl_file : string -> t
+(** Like {!jsonl} but opens [path] and closes it on [close]. *)
+
+val tee : t -> t -> t
+(** Duplicate events to both sinks. *)
+
+val emit : t -> Event.t -> unit
+val close : t -> unit

@@ -1,0 +1,15 @@
+(* Trace digests: md5 over the JSONL serialization, one line per event
+   including its trailing newline — so digesting an in-memory event list
+   and digesting the file written by [Sink.jsonl_file] give identical
+   results. *)
+
+let of_events events =
+  let ctx = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string ctx (Event.to_json ev);
+      Buffer.add_char ctx '\n')
+    events;
+  Digest.to_hex (Digest.string (Buffer.contents ctx))
+
+let of_file path = Digest.to_hex (Digest.file path)

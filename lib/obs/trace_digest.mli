@@ -1,0 +1,11 @@
+(** Stable digests of traces for golden-run regression checks.
+
+    [of_events evs] equals [of_file f] whenever [f] contains exactly the
+    JSONL serialization of [evs] (one line per event, '\n'-terminated),
+    which is what {!Sink.jsonl_file} writes. *)
+
+val of_events : Event.t list -> string
+(** Hex md5 of the JSONL serialization. *)
+
+val of_file : string -> string
+(** Hex md5 of a file's bytes. *)

@@ -126,6 +126,52 @@ let test_run_determinism () =
   Alcotest.(check int) "exh" a.ttl_exhaustions b.ttl_exhaustions;
   Alcotest.(check int) "packets" a.packets_sent b.packets_sent
 
+let non_converged_spec =
+  (* a 50-event budget exhausts mid-warm-up on a clique-8 T_down *)
+  { (Experiment.default_spec (Experiment.Clique 8)) with max_events = 50 }
+
+let test_non_converged_still_timed () =
+  let r = Experiment.run non_converged_spec in
+  (match Experiment.status r.outcome with
+  | Experiment.Non_converged { termination; events_executed; _ } ->
+      Alcotest.(check bool) "event budget hit" true
+        (termination = Bgp.Routing_sim.Event_budget);
+      Alcotest.(check bool) "budget respected" true (events_executed <= 50)
+  | Experiment.Completed -> Alcotest.fail "expected Non_converged");
+  Alcotest.(check bool) "not converged" false r.metrics.converged;
+  (* every exit must yield timed metrics: a budget-exhausted run still
+     reports the wall-clock it actually burned *)
+  Alcotest.(check bool) "wall clock measured" true
+    (r.metrics.wall_clock_s > 0.)
+
+let test_non_converged_vtime_budget_timed () =
+  let spec =
+    { (Experiment.default_spec (Experiment.Clique 8)) with
+      max_vtime = Some 0.5 }
+  in
+  let r = Experiment.run spec in
+  Alcotest.(check bool) "not converged" false r.metrics.converged;
+  Alcotest.(check bool) "wall clock measured" true
+    (r.metrics.wall_clock_s > 0.);
+  match Experiment.status r.outcome with
+  | Experiment.Non_converged { termination; _ } ->
+      Alcotest.(check bool) "vtime budget hit" true
+        (termination = Bgp.Routing_sim.Vtime_budget)
+  | Experiment.Completed -> Alcotest.fail "expected Non_converged"
+
+let test_non_converged_survives_analysis () =
+  (* a truncated FIB history must not abort the pipeline at any
+     truncation point: replay and loop scan either analyze what exists
+     or fall back to empty results — never raise *)
+  List.iter
+    (fun max_events ->
+      let r = Experiment.run { non_converged_spec with max_events } in
+      Alcotest.(check bool)
+        (Printf.sprintf "budget %d yields timed metrics" max_events)
+        true
+        ((not r.metrics.converged) && r.metrics.wall_clock_s > 0.))
+    [ 10; 50; 200 ]
+
 (* --- Sweep --- *)
 
 let test_over_seeds_averages () =
@@ -237,6 +283,11 @@ let () =
         [
           tc "custom topology" test_run_custom_topology;
           tc "deterministic" test_run_determinism;
+          tc "non-converged still timed" test_non_converged_still_timed;
+          tc "non-converged vtime budget timed"
+            test_non_converged_vtime_budget_timed;
+          tc "non-converged survives analysis"
+            test_non_converged_survives_analysis;
         ] );
       ( "sweep",
         [

@@ -1,0 +1,103 @@
+(* Golden-trace regression suite: recompute each fixture's trace digest
+   and compare against the committed test/golden_digests.expected.
+
+   A failure here means simulator behavior drifted (event order, timing
+   or decision process changed).  If the drift is intentional,
+   regenerate the fixture file with:
+
+     dune exec bin/bgpsim_cli.exe -- golden > test/golden_digests.expected
+*)
+
+open Bgpsim
+
+let expected_path = "golden_digests.expected"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let expected () = Golden.parse_expected (read_file expected_path)
+
+let test_fixture_file_well_formed () =
+  let pairs = expected () in
+  Alcotest.(check (list string))
+    "one committed digest per fixture, same order"
+    (List.map (fun (f : Golden.fixture) -> f.name) Golden.fixtures)
+    (List.map fst pairs);
+  List.iter
+    (fun (_, d) ->
+      Alcotest.(check int) "hex md5 length" 32 (String.length d);
+      Alcotest.(check bool) "hex digits" true
+        (String.for_all
+           (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+           d))
+    pairs
+
+let test_digests_match_committed () =
+  let pairs = expected () in
+  List.iter
+    (fun (f : Golden.fixture) ->
+      match List.assoc_opt f.name pairs with
+      | None -> Alcotest.fail ("no committed digest for " ^ f.name)
+      | Some want ->
+          Alcotest.(check string)
+            (f.name ^ " digest unchanged")
+            want (Golden.digest f))
+    Golden.fixtures
+
+let test_digest_stable_across_recompute () =
+  let f = Golden.canonical in
+  Alcotest.(check string) "two runs, one digest" (Golden.digest f)
+    (Golden.digest f)
+
+let test_canonical_trace_nonempty () =
+  let events = Golden.events Golden.canonical in
+  Alcotest.(check bool) "canonical trace has events" true
+    (List.length events > 50);
+  (* the canonical scenario is a T_down: its trace must carry both
+     withdrawals and post-hoc loop lifecycles from the scanner *)
+  let has p = List.exists p events in
+  Alcotest.(check bool) "has withdrawal" true
+    (has (function Obs.Event.Withdrawal _ -> true | _ -> false));
+  Alcotest.(check bool) "has loop_detected" true
+    (has (function Obs.Event.Loop_detected _ -> true | _ -> false))
+
+let test_find_and_digest_line () =
+  (match Golden.find "clique5-tdown" with
+  | Some f -> Alcotest.(check string) "find" "clique5-tdown" f.name
+  | None -> Alcotest.fail "clique5-tdown not found");
+  Alcotest.(check bool) "unknown name" true (Golden.find "nope" = None);
+  let f = Golden.canonical in
+  Alcotest.(check string) "line format"
+    (Printf.sprintf "%s %s" f.name (Golden.digest f))
+    (Golden.digest_line f)
+
+let test_parse_expected_skips_noise () =
+  let pairs =
+    Golden.parse_expected
+      "# comment\n\n  name1 abc  \nmalformed-no-space\nname2 def\n"
+  in
+  Alcotest.(check (list (pair string string)))
+    "comments, blanks and malformed lines skipped"
+    [ ("name1", "abc"); ("name2", "def") ]
+    pairs
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "golden"
+    [
+      ( "fixture-file",
+        [
+          tc "well-formed" test_fixture_file_well_formed;
+          tc "parse skips noise" test_parse_expected_skips_noise;
+        ] );
+      ( "digests",
+        [
+          tc "match committed" test_digests_match_committed;
+          tc "stable across recompute" test_digest_stable_across_recompute;
+          tc "canonical trace nonempty" test_canonical_trace_nonempty;
+          tc "find and line format" test_find_and_digest_line;
+        ] );
+    ]

@@ -11,7 +11,7 @@ let fib_with ~n changes =
   fib
 
 let scan ?(from = 10.) ~n changes =
-  Loopscan.Scanner.scan ~fib:(fib_with ~n changes) ~origin:0 ~from
+  Loopscan.Scanner.scan ~fib:(fib_with ~n changes) ~origin:0 ~from ()
 
 (* --- basic lifecycle --- *)
 
@@ -239,7 +239,7 @@ let test_causes_classification () =
     ~kind:Netcore.Trace.Withdraw;
   Netcore.Trace.log_process trace ~time:14. ~node:1 ~from:2
     ~kind:Netcore.Trace.Announce;
-  let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:5. in
+  let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:5. () in
   let classified = Loopscan.Causes.classify ~trace report in
   let causes = List.map snd classified in
   Alcotest.(check (list string))
@@ -265,7 +265,7 @@ let test_causes_on_real_run () =
   in
   let report =
     Loopscan.Scanner.scan ~fib:(Netcore.Trace.fib o.trace) ~origin:0
-      ~from:o.t_fail
+      ~from:o.t_fail ()
   in
   let classified = Loopscan.Causes.classify ~trace:o.trace report in
   let b = Loopscan.Causes.breakdown classified in
@@ -295,7 +295,7 @@ let prop_scanner_consistent_with_forwarder =
         |> List.filter (fun (_, node, nh) -> nh <> Some node)
       in
       let fib = fib_with ~n:5 changes in
-      let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:0. in
+      let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:0. () in
       let alive_at t =
         List.exists
           (fun (l : Loopscan.Scanner.loop) ->

@@ -169,7 +169,7 @@ let test_export_loops_csv () =
     fib_with ~n:3
       [ (0., 1, Some 0); (0., 2, Some 1); (10., 1, Some 2); (15., 2, Some 0) ]
   in
-  let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:5. in
+  let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:5. () in
   match lines (Metrics.Export.loops_csv report ~until:20.) with
   | [ header; row ] ->
       Alcotest.(check string) "header"
@@ -231,7 +231,7 @@ let test_loops_band () =
 
 let test_render_run_shape () =
   let fib = fib_with ~n:3 [ (1., 1, Some 0) ] in
-  let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:0. in
+  let report = Loopscan.Scanner.scan ~fib ~origin:0 ~from:0. () in
   let text =
     Metrics.Timeline.render_run ~fib ~loops:report ~exhaustion_times:[| 2. |]
       ~from:0. ~until:10. ~width:20 ()

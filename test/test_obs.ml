@@ -1,0 +1,420 @@
+(* Tests for the observability layer (lib/obs): event serialization,
+   sinks, the counter registry, profiles, digests — plus the trace
+   properties the bus guarantees on real simulation runs:
+
+   - every Update_recv is preceded by a matching unconsumed Update_sent
+     (chaos-free scenarios only: message duplication would deliberately
+     break the correspondence);
+   - the number of Fib_change events equals the FIB history's
+     change_count (wired through Fib_history.set_on_change);
+   - counter snapshots taken at increasing times are monotone under
+     Counters.le. *)
+
+let ev_sent ~time ~src ~dst ~withdraw =
+  Obs.Event.Update_sent { time; src; dst; withdraw }
+
+(* --- events --- *)
+
+let test_event_json_shapes () =
+  Alcotest.(check string) "update_sent"
+    {|{"ev":"update_sent","t":1.5,"src":0,"dst":3,"kind":"announce"}|}
+    (Obs.Event.to_json (ev_sent ~time:1.5 ~src:0 ~dst:3 ~withdraw:false));
+  Alcotest.(check string) "withdraw kind"
+    {|{"ev":"update_recv","t":2,"node":3,"from":0,"kind":"withdraw"}|}
+    (Obs.Event.to_json
+       (Obs.Event.Update_recv { time = 2.; node = 3; from = 0; withdraw = true }));
+  Alcotest.(check string) "fib change to none"
+    {|{"ev":"fib_change","t":0.25,"node":1,"next_hop":null}|}
+    (Obs.Event.to_json
+       (Obs.Event.Fib_change { time = 0.25; node = 1; next_hop = None }));
+  Alcotest.(check string) "loop members"
+    {|{"ev":"loop_detected","t":3,"members":[1,2,4],"trigger":2}|}
+    (Obs.Event.to_json
+       (Obs.Event.Loop_detected { time = 3.; members = [ 1; 2; 4 ]; trigger = 2 }))
+
+let test_event_accessors () =
+  let e = ev_sent ~time:7.25 ~src:1 ~dst:2 ~withdraw:true in
+  Alcotest.(check (float 0.)) "time" 7.25 (Obs.Event.time e);
+  Alcotest.(check string) "kind" "update_sent" (Obs.Event.kind e)
+
+let test_json_float_stability () =
+  (* %.12g must round-trip typical virtual times without platform noise *)
+  let e = ev_sent ~time:30.000000000001 ~src:0 ~dst:1 ~withdraw:false in
+  let j1 = Obs.Event.to_json e and j2 = Obs.Event.to_json e in
+  Alcotest.(check string) "byte stable" j1 j2
+
+(* --- sinks --- *)
+
+let test_memory_sink_order () =
+  let sink, contents = Obs.Sink.memory () in
+  for i = 0 to 4 do
+    Obs.Sink.emit sink (ev_sent ~time:(float_of_int i) ~src:i ~dst:0 ~withdraw:false)
+  done;
+  Alcotest.(check (list (float 0.)))
+    "emit order preserved" [ 0.; 1.; 2.; 3.; 4. ]
+    (List.map Obs.Event.time (contents ()))
+
+let test_ring_sink_keeps_last () =
+  let sink, contents = Obs.Sink.ring ~capacity:3 in
+  for i = 0 to 9 do
+    Obs.Sink.emit sink (ev_sent ~time:(float_of_int i) ~src:i ~dst:0 ~withdraw:false)
+  done;
+  Alcotest.(check (list (float 0.)))
+    "last capacity events, oldest first" [ 7.; 8.; 9. ]
+    (List.map Obs.Event.time (contents ()));
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Sink.ring: capacity must be positive") (fun () ->
+      ignore (Obs.Sink.ring ~capacity:0))
+
+let test_tee_sink () =
+  let s1, c1 = Obs.Sink.memory () in
+  let s2, c2 = Obs.Sink.memory () in
+  let tee = Obs.Sink.tee s1 s2 in
+  Obs.Sink.emit tee (ev_sent ~time:1. ~src:0 ~dst:1 ~withdraw:false);
+  Alcotest.(check int) "both sides" 2 (List.length (c1 ()) + List.length (c2 ()))
+
+let test_jsonl_file_digest_matches_events () =
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let events =
+        [
+          ev_sent ~time:0.5 ~src:0 ~dst:1 ~withdraw:false;
+          Obs.Event.Fib_change { time = 1.; node = 1; next_hop = Some 0 };
+        ]
+      in
+      let sink = Obs.Sink.jsonl_file path in
+      List.iter (Obs.Sink.emit sink) events;
+      Obs.Sink.close sink;
+      Alcotest.(check string) "file digest = in-memory digest"
+        (Obs.Trace_digest.of_events events)
+        (Obs.Trace_digest.of_file path))
+
+(* --- bus --- *)
+
+let test_bus_off_is_inert () =
+  Alcotest.(check bool) "off disabled" false (Obs.Bus.enabled Obs.Bus.off);
+  (* emitting on the off bus must be a no-op, not a crash *)
+  Obs.Bus.update_sent Obs.Bus.off ~time:0. ~src:0 ~dst:1 ~withdraw:false;
+  Obs.Bus.loop_detected Obs.Bus.off ~time:0. ~members:[ 1 ] ~trigger:1
+
+let test_bus_counters_only_allocates_no_events () =
+  let c = Obs.Counters.create () in
+  let obs = Obs.Bus.create ~counters:c () in
+  Obs.Bus.update_sent obs ~time:0. ~src:0 ~dst:1 ~withdraw:false;
+  Obs.Bus.update_recv obs ~time:0. ~node:1 ~from:0 ~withdraw:true;
+  Obs.Bus.decision_run obs ~node:1;
+  let s = Obs.Counters.snapshot c in
+  Alcotest.(check int) "sent counted" 1 s.s_updates_sent;
+  Alcotest.(check int) "withdraw recv counted" 1 s.s_withdrawals_recv;
+  Alcotest.(check int) "decision counted" 1 s.s_decision_runs
+
+let test_bus_events_and_counters_together () =
+  let c = Obs.Counters.create () in
+  let sink, contents = Obs.Sink.memory () in
+  let obs = Obs.Bus.create ~sink ~counters:c () in
+  Obs.Bus.update_sent obs ~time:1. ~src:0 ~dst:2 ~withdraw:false;
+  Obs.Bus.mrai_fire obs ~time:2. ~node:0 ~peer:2;
+  Alcotest.(check int) "two events" 2 (List.length (contents ()));
+  let s = Obs.Counters.snapshot c in
+  Alcotest.(check int) "mrai fire counted" 1 s.s_mrai_fires
+
+(* --- counters --- *)
+
+let test_counters_merge_and_hwm () =
+  let a = Obs.Counters.create () and b = Obs.Counters.create () in
+  Obs.Counters.incr_sent a ~node:0 ~withdraw:false;
+  Obs.Counters.incr_sent b ~node:0 ~withdraw:true;
+  Obs.Counters.observe_queue_depth a ~node:0 ~depth:3;
+  Obs.Counters.observe_queue_depth b ~node:0 ~depth:7;
+  let m = Obs.Counters.merge (Obs.Counters.snapshot a) (Obs.Counters.snapshot b) in
+  Alcotest.(check int) "announce send summed" 1 m.s_updates_sent;
+  Alcotest.(check int) "withdraw send summed" 1 m.s_withdrawals_sent;
+  (match m.s_nodes with
+  | [ (0, pn) ] ->
+      Alcotest.(check int) "per-node sent summed" 2 pn.msgs_sent;
+      Alcotest.(check int) "hwm takes max, not sum" 7 pn.queue_depth_hwm
+  | _ -> Alcotest.fail "expected exactly node 0")
+
+let test_counters_le () =
+  let c = Obs.Counters.create () in
+  let s0 = Obs.Counters.snapshot c in
+  Obs.Counters.incr_recv c ~node:1 ~withdraw:false;
+  Obs.Counters.incr_fib_change c ~node:1;
+  let s1 = Obs.Counters.snapshot c in
+  Alcotest.(check bool) "s0 <= s1" true (Obs.Counters.le s0 s1);
+  Alcotest.(check bool) "s1 </= s0" false (Obs.Counters.le s1 s0)
+
+(* --- histogram merge + profile --- *)
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  let b = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  Stats.Histogram.add a 1.5;
+  Stats.Histogram.add b 1.5;
+  Stats.Histogram.add b 9.5;
+  Stats.Histogram.merge_into ~src:b ~dst:a;
+  Alcotest.(check int) "counts summed" 3 (Stats.Histogram.count a);
+  Alcotest.(check int) "bucket 1 has both" 2 (Stats.Histogram.bucket_count a 1);
+  let bad = Stats.Histogram.create ~lo:0. ~hi:5. ~buckets:10 in
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Histogram.merge_into: geometry mismatch") (fun () ->
+      Stats.Histogram.merge_into ~src:bad ~dst:a)
+
+let test_profile_record_and_merge () =
+  let p = Obs.Profile.create () and q = Obs.Profile.create () in
+  Obs.Profile.record p ~tag:"link-deliver" ~time:1. ~wall_s:1e-5;
+  Obs.Profile.record q ~tag:"link-deliver" ~time:2. ~wall_s:2e-5;
+  Obs.Profile.record q ~tag:"mrai-fire" ~time:3. ~wall_s:1e-5;
+  Obs.Profile.merge_into ~src:q ~dst:p;
+  match Obs.Profile.kinds p with
+  | [ ("link-deliver", ld); ("mrai-fire", mf) ] ->
+      Alcotest.(check int) "link-deliver merged" 2 ld.count;
+      Alcotest.(check int) "mrai-fire carried over" 1 mf.count;
+      Alcotest.(check (float 1e-9)) "wall summed" 3e-5 ld.wall_total_s
+  | ks ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected kinds: %s"
+           (String.concat "," (List.map fst ks)))
+
+let test_profile_step_times_run () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.step p ~time:1. ~tag:(Some "x") ~run:(fun () -> ());
+  Obs.Profile.step p ~time:2. ~tag:None ~run:(fun () -> ());
+  match Obs.Profile.kinds p with
+  | [ ("untagged", u); ("x", x) ] ->
+      Alcotest.(check int) "tagged counted" 1 x.count;
+      Alcotest.(check int) "untagged counted" 1 u.count
+  | _ -> Alcotest.fail "expected untagged + x"
+
+(* --- trace properties on real runs --- *)
+
+(* chaos-free scenarios: no message duplication/loss, so the
+   sent/recv correspondence must hold exactly *)
+let scenarios =
+  [
+    ("clique-4 tdown", Topo.Generators.clique 4, Bgp.Routing_sim.Tdown);
+    ("clique-5 tdown", Topo.Generators.clique 5, Bgp.Routing_sim.Tdown);
+    ( "b-clique-4 tlong",
+      Topo.Generators.b_clique 4,
+      Bgp.Routing_sim.Tlong { a = 0; b = 4 } );
+    ("chain-5 tdown", Topo.Generators.chain 5, Bgp.Routing_sim.Tdown);
+    ( "ring-6 tshort",
+      Topo.Generators.ring 6,
+      Bgp.Routing_sim.Tshort { a = 0; b = 1; down_for = 3. } );
+  ]
+
+let traced_run ~graph ~event ~seed =
+  let sink, contents = Obs.Sink.memory () in
+  let c = Obs.Counters.create () in
+  let obs = Obs.Bus.create ~sink ~counters:c () in
+  let outcome = Bgp.Routing_sim.run ~graph ~origin:0 ~event ~seed ~obs () in
+  (outcome, contents (), c)
+
+let test_recv_matches_prior_sent () =
+  List.iter
+    (fun (name, graph, event) ->
+      List.iter
+        (fun seed ->
+          let _, events, _ = traced_run ~graph ~event ~seed in
+          (* multiset of in-flight sends keyed (src, dst, withdraw) *)
+          let inflight = Hashtbl.create 64 in
+          let count k = Option.value ~default:0 (Hashtbl.find_opt inflight k) in
+          List.iter
+            (fun e ->
+              match e with
+              | Obs.Event.Update_sent { src; dst; withdraw; _ } ->
+                  let k = (src, dst, withdraw) in
+                  Hashtbl.replace inflight k (count k + 1)
+              | Obs.Event.Update_recv { node; from; withdraw; _ } ->
+                  let k = (from, node, withdraw) in
+                  if count k <= 0 then
+                    Alcotest.fail
+                      (Printf.sprintf
+                         "%s seed %d: recv %d<-%d (withdraw=%b) without a \
+                          prior unconsumed send"
+                         name seed node from withdraw)
+                  else Hashtbl.replace inflight k (count k - 1)
+              | _ -> ())
+            events)
+        [ 1; 2 ])
+    scenarios
+
+let test_trace_times_nondecreasing () =
+  List.iter
+    (fun (name, graph, event) ->
+      let _, events, _ = traced_run ~graph ~event ~seed:1 in
+      ignore
+        (List.fold_left
+           (fun last e ->
+             let t = Obs.Event.time e in
+             if t < last then
+               Alcotest.fail
+                 (Printf.sprintf "%s: time went backwards (%g after %g)" name t
+                    last);
+             t)
+           neg_infinity events))
+    scenarios
+
+let test_fib_change_events_equal_history () =
+  List.iter
+    (fun (name, graph, event) ->
+      let outcome, events, c = traced_run ~graph ~event ~seed:1 in
+      let fib = Netcore.Trace.fib outcome.trace in
+      let emitted =
+        List.length
+          (List.filter
+             (function Obs.Event.Fib_change _ -> true | _ -> false)
+             events)
+      in
+      Alcotest.(check int)
+        (name ^ ": fib events = history changes")
+        (Netcore.Fib_history.change_count fib)
+        emitted;
+      let s = Obs.Counters.snapshot c in
+      Alcotest.(check int)
+        (name ^ ": fib counter agrees")
+        emitted s.s_fib_changes)
+    scenarios
+
+let test_counters_monotone_during_run () =
+  let graph = Topo.Generators.clique 5 in
+  let c = Obs.Counters.create () in
+  let snaps = ref [] in
+  let k = ref 0 in
+  (* snapshot the registry from inside the event stream itself: every
+     8th event, i.e. at strictly increasing virtual times *)
+  let sink =
+    Obs.Sink.fn (fun _ ->
+        incr k;
+        if !k mod 8 = 0 then snaps := Obs.Counters.snapshot c :: !snaps)
+  in
+  let obs = Obs.Bus.create ~sink ~counters:c () in
+  let (_ : Bgp.Routing_sim.outcome) =
+    Bgp.Routing_sim.run ~graph ~origin:0 ~event:Bgp.Routing_sim.Tdown ~seed:1
+      ~obs ()
+  in
+  let snaps = List.rev (Obs.Counters.snapshot c :: !snaps) in
+  Alcotest.(check bool) "collected several snapshots" true
+    (List.length snaps > 3);
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "snapshots monotone" true (Obs.Counters.le a b);
+        pairwise rest
+    | _ -> ()
+  in
+  pairwise snaps
+
+let test_counters_match_outcome () =
+  let graph = Topo.Generators.clique 5 in
+  let outcome, _, c =
+    traced_run ~graph ~event:Bgp.Routing_sim.Tdown ~seed:1
+  in
+  let s = Obs.Counters.snapshot c in
+  Alcotest.(check int) "engine events credited" outcome.events_executed
+    s.s_events_executed;
+  (* counters cover warm-up too, so they dominate the post-failure
+     outcome counts *)
+  Alcotest.(check bool) "sent >= updates after fail" true
+    (s.s_updates_sent >= outcome.updates_after_fail);
+  Alcotest.(check bool) "withdrawals >= after fail" true
+    (s.s_withdrawals_sent >= outcome.withdrawals_after_fail)
+
+let test_digest_deterministic_across_runs () =
+  let graph = Topo.Generators.clique 5 in
+  let digest () =
+    let _, events, _ = traced_run ~graph ~event:Bgp.Routing_sim.Tdown ~seed:1 in
+    Obs.Trace_digest.of_events events
+  in
+  Alcotest.(check string) "same seed, same digest" (digest ()) (digest ());
+  let other =
+    let _, events, _ = traced_run ~graph ~event:Bgp.Routing_sim.Tdown ~seed:2 in
+    Obs.Trace_digest.of_events events
+  in
+  Alcotest.(check bool) "different seed, different digest" true
+    (other <> digest ())
+
+(* qcheck: the sent/recv and fib properties over random small cliques *)
+let prop_random_scenarios =
+  QCheck.Test.make ~count:15 ~name:"random clique traces well-formed"
+    QCheck.(pair (int_range 3 7) (int_range 1 1000))
+    (fun (n, seed) ->
+      let graph = Topo.Generators.clique n in
+      let outcome, events, _ =
+        traced_run ~graph ~event:Bgp.Routing_sim.Tdown ~seed
+      in
+      let inflight = Hashtbl.create 64 in
+      let count k = Option.value ~default:0 (Hashtbl.find_opt inflight k) in
+      let ok =
+        List.for_all
+          (fun e ->
+            match e with
+            | Obs.Event.Update_sent { src; dst; withdraw; _ } ->
+                let k = (src, dst, withdraw) in
+                Hashtbl.replace inflight k (count k + 1);
+                true
+            | Obs.Event.Update_recv { node; from; withdraw; _ } ->
+                let k = (from, node, withdraw) in
+                if count k <= 0 then false
+                else (
+                  Hashtbl.replace inflight k (count k - 1);
+                  true)
+            | _ -> true)
+          events
+      in
+      let fib_events =
+        List.length
+          (List.filter
+             (function Obs.Event.Fib_change _ -> true | _ -> false)
+             events)
+      in
+      ok
+      && fib_events
+         = Netcore.Fib_history.change_count (Netcore.Trace.fib outcome.trace))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "events",
+        [
+          tc "json shapes" test_event_json_shapes;
+          tc "accessors" test_event_accessors;
+          tc "float stability" test_json_float_stability;
+        ] );
+      ( "sinks",
+        [
+          tc "memory order" test_memory_sink_order;
+          tc "ring keeps last" test_ring_sink_keeps_last;
+          tc "tee duplicates" test_tee_sink;
+          tc "jsonl file digest" test_jsonl_file_digest_matches_events;
+        ] );
+      ( "bus",
+        [
+          tc "off is inert" test_bus_off_is_inert;
+          tc "counters-only" test_bus_counters_only_allocates_no_events;
+          tc "events + counters" test_bus_events_and_counters_together;
+        ] );
+      ( "counters",
+        [
+          tc "merge and hwm" test_counters_merge_and_hwm;
+          tc "le" test_counters_le;
+        ] );
+      ( "profile",
+        [
+          tc "histogram merge" test_histogram_merge;
+          tc "record and merge" test_profile_record_and_merge;
+          tc "step times run" test_profile_step_times_run;
+        ] );
+      ( "trace-properties",
+        [
+          tc "recv matches prior sent" test_recv_matches_prior_sent;
+          tc "times nondecreasing" test_trace_times_nondecreasing;
+          tc "fib events = history changes" test_fib_change_events_equal_history;
+          tc "counters monotone mid-run" test_counters_monotone_during_run;
+          tc "counters match outcome" test_counters_match_outcome;
+          tc "digest deterministic" test_digest_deterministic_across_runs;
+          QCheck_alcotest.to_alcotest prop_random_scenarios;
+        ] );
+    ]

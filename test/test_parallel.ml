@@ -157,6 +157,52 @@ let test_over_seeds_robust_parallel () =
   let par = strip_robust (Sweep.over_seeds_robust ~pool spec ~seeds) in
   Alcotest.(check bool) "pooled over_seeds_robust identical" true (seq = par)
 
+(* --- trace determinism --- *)
+
+let test_trace_digests_identical_across_jobs () =
+  (* each worker runs a fixture with its own memory-sink bus; the
+     resulting digests must not depend on worker count or scheduling *)
+  let digests jobs =
+    Parallel.map ~jobs Golden.digest Golden.fixtures
+    |> List.map Result.get_ok
+  in
+  let seq = digests 1 in
+  Alcotest.(check int) "one digest per fixture"
+    (List.length Golden.fixtures) (List.length seq);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d digests identical" jobs)
+        seq (digests jobs))
+    [ 2; 4 ]
+
+let test_counter_snapshots_merge_across_workers () =
+  (* the pooled merge must equal a sequential fold over the same runs *)
+  let specs =
+    List.map
+      (fun seed ->
+        { (Experiment.default_spec (Experiment.Clique 5)) with seed })
+      [ 1; 2; 3; 4 ]
+  in
+  let counted spec =
+    let c = Obs.Counters.create () in
+    let obs = Obs.Bus.create ~counters:c () in
+    let (_ : Experiment.run) = Experiment.run ~obs spec in
+    Obs.Counters.snapshot c
+  in
+  let merge_all = function
+    | [] -> Alcotest.fail "no snapshots"
+    | s :: rest -> List.fold_left Obs.Counters.merge s rest
+  in
+  let seq = merge_all (List.map counted specs) in
+  let par =
+    merge_all (Parallel.map ~jobs:4 counted specs |> List.map Result.get_ok)
+  in
+  Alcotest.(check int) "updates sent" seq.s_updates_sent par.s_updates_sent;
+  Alcotest.(check int) "fib changes" seq.s_fib_changes par.s_fib_changes;
+  Alcotest.(check int) "engine events" seq.s_events_executed
+    par.s_events_executed
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "parallel"
@@ -180,5 +226,12 @@ let () =
           tc "series_robust parallel = sequential"
             test_series_robust_parallel_equals_sequential;
           tc "over_seeds_robust with shared pool" test_over_seeds_robust_parallel;
+        ] );
+      ( "observability",
+        [
+          tc "trace digests identical across jobs"
+            test_trace_digests_identical_across_jobs;
+          tc "counter snapshots merge across workers"
+            test_counter_snapshots_merge_across_workers;
         ] );
     ]

@@ -241,7 +241,7 @@ let test_inverse_events_are_loop_free () =
   let check_no_loops ~graph ~origin ~event =
     let o = run ~graph ~origin ~event ~seed:1 () in
     let report =
-      Loopscan.Scanner.scan ~fib:(fib_of o) ~origin ~from:o.t_fail
+      Loopscan.Scanner.scan ~fib:(fib_of o) ~origin ~from:o.t_fail ()
     in
     Alcotest.(check int) "no transient loops" 0 (List.length report.loops)
   in
