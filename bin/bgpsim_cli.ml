@@ -178,9 +178,24 @@ let max_vtime_arg =
     & info [ "max-vtime" ] ~docv:"SECONDS"
         ~doc:"Per-run virtual-time budget (default: unbounded).")
 
+let preflight_arg =
+  let mode =
+    Arg.enum
+      (List.map
+         (fun m -> (Analysis.Preflight.mode_name m, m))
+         [ Analysis.Preflight.Off; Analysis.Preflight.Warn; Analysis.Preflight.Strict ])
+  in
+  Arg.(
+    value & opt mode Analysis.Preflight.Off
+    & info [ "preflight" ] ~docv:"MODE"
+        ~doc:
+          "Static pre-flight analysis (dispute-digraph policy safety, \
+           scenario lint, convergence bounds): off, warn (report only) or \
+           strict (skip statically-doomed runs).")
+
 let spec_of ?scenario ?(invariants = Faults.Invariant.Off)
-    ?(max_events = 20_000_000) ?max_vtime topology event enhancement mrai seed
-    =
+    ?(max_events = 20_000_000) ?max_vtime ?(preflight = Analysis.Preflight.Off)
+    topology event enhancement mrai seed =
   let event =
     match scenario with
     | Some sc -> Bgpsim.Experiment.Scenario sc
@@ -195,6 +210,7 @@ let spec_of ?scenario ?(invariants = Faults.Invariant.Off)
     invariants;
     max_events;
     max_vtime;
+    preflight;
   }
 
 let seed_list ~seed ~seeds = List.init (Stdlib.max 1 seeds) (fun i -> seed + i)
@@ -229,16 +245,19 @@ let profile_flag =
            histograms, merged across all seeds/workers.")
 
 let run_cmd =
-  let action topology event scenario invariants max_events max_vtime
+  let action topology event scenario invariants max_events max_vtime preflight
       enhancement mrai seed seeds jobs trace_file counters profile =
     let spec =
-      spec_of ?scenario ~invariants ~max_events ?max_vtime topology event
-        enhancement mrai seed
+      spec_of ?scenario ~invariants ~max_events ?max_vtime ~preflight topology
+        event enhancement mrai seed
     in
     let seedl = seed_list ~seed ~seeds in
     Format.printf "%s  event=%s  enhancement=%a  mrai=%gs  seeds=%d@."
       (Bgpsim.Experiment.topology_name topology)
       (event_name spec.event) Bgp.Enhancement.pp enhancement mrai seeds;
+    if preflight <> Analysis.Preflight.Off then
+      Format.printf "@.%a@." Analysis.Preflight.pp
+        (Bgpsim.Experiment.analyze spec);
     if trace_file = None && not (counters || profile) then begin
       let robust = Bgpsim.Sweep.over_seeds_robust ~jobs spec ~seeds:seedl in
       (match robust.metrics with
@@ -247,6 +266,9 @@ let run_cmd =
       if robust.non_converged > 0 then
         Format.printf "@.%d of %d run(s) hit a budget (non-converged)@."
           robust.non_converged robust.completed;
+      if robust.rejected <> [] then
+        Format.printf "@.%d run(s) skipped by the strict pre-flight@."
+          (List.length robust.rejected);
       if robust.failures <> [] then
         Format.printf "@.%s@." (Bgpsim.Sweep.failures_table robust.failures)
     end
@@ -300,11 +322,151 @@ let run_cmd =
   let term =
     Term.(
       const action $ topology_arg $ event_arg $ scenario_arg $ invariants_arg
-      $ max_events_arg $ max_vtime_arg $ enhancement_arg $ mrai_arg $ seed_arg
-      $ seeds_arg $ jobs_arg $ trace_file_arg $ counters_flag $ profile_flag)
+      $ max_events_arg $ max_vtime_arg $ preflight_arg $ enhancement_arg
+      $ mrai_arg $ seed_arg $ seeds_arg $ jobs_arg $ trace_file_arg
+      $ counters_flag $ profile_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one failure scenario and print its metrics")
+    term
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let topology_opt_arg =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "t"; "topology" ] ~docv:"TOPOLOGY"
+          ~doc:
+            "Topology to analyze: clique:N, b-clique:N, internet:N, waxman:N, \
+             glp:N, or file:PATH.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("shortest-path", `Shortest); ("gao-rexford", `Gao) ]) `Shortest
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Route selection policy to analyze: shortest-path (the paper's) \
+             or gao-rexford (valley-free over degree-inferred \
+             relationships).")
+  in
+  let max_paths_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:
+            "Permitted-path enumeration budget; beyond it the verdict \
+             degrades to 'unknown' (or the Gao-Rexford certificate).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the full report(s) as a JSON array to $(docv).")
+  in
+  let fixture_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fixture" ] ~docv:"NAME"
+          ~doc:
+            "Analyze a canonical SPVP fixture instead of a topology: \
+             bad-gadget (the Griffin-Wilfong dispute wheel, expected unsafe) \
+             or good-gadget.")
+  in
+  let golden_flag =
+    Arg.(
+      value & flag
+      & info [ "golden" ]
+          ~doc:
+            "Analyze every golden-trace fixture's spec (the CI smoke set) in \
+             addition to any --topology/--fixture selection.")
+  in
+  let action topology event scenario policy mrai seed max_paths json fixture
+      golden =
+    let reports = ref [] in
+    let add label report = reports := (label, report) :: !reports in
+    (match fixture with
+    | None -> ()
+    | Some name -> (
+        match Analysis.Fixtures.find name with
+        | Error msg -> raise (Invalid_argument msg)
+        | Ok (i : Analysis.Fixtures.instance) ->
+            add i.label
+              (Analysis.Preflight.analyze ~max_paths ~graph:i.graph
+                 ~policy:i.policy ~origin:i.origin ~mrai
+                 ~params:Netcore.Params.default ())));
+    if golden then
+      List.iter
+        (fun (f : Bgpsim.Golden.fixture) ->
+          add f.name (Bgpsim.Experiment.analyze ~max_paths f.spec))
+        Bgpsim.Golden.fixtures;
+    (match topology with
+    | None -> ()
+    | Some topology ->
+        let spec = spec_of ?scenario topology event Bgp.Enhancement.Standard mrai seed in
+        let label =
+          Printf.sprintf "%s/%s"
+            (Bgpsim.Experiment.topology_name topology)
+            (event_name spec.event)
+        in
+        let report =
+          match policy with
+          | `Shortest -> Bgpsim.Experiment.analyze ~max_paths spec
+          | `Gao ->
+              let graph, _, _ = Bgpsim.Experiment.resolve_raw spec in
+              let rel = Bgp.Policy.relationships_by_degree graph in
+              Bgpsim.Experiment.analyze ~max_paths
+                ~policy:(Bgp.Policy.gao_rexford ~rel) ~gr_rel:rel spec
+        in
+        add label report);
+    let reports = List.rev !reports in
+    if reports = [] then
+      raise (Invalid_argument "nothing to analyze: give --topology, --fixture or --golden");
+    List.iter
+      (fun (label, report) ->
+        Format.printf "== %s ==@.%a@.@." label Analysis.Preflight.pp report)
+      reports;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          ("["
+          ^ String.concat ","
+              (List.map
+                 (fun (label, r) ->
+                   Printf.sprintf "{\"name\":\"%s\",\"report\":%s}" label
+                     (Analysis.Preflight.to_json r))
+                 reports)
+          ^ "]\n");
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    let doomed =
+      List.filter (fun (_, r) -> Analysis.Preflight.blocking r <> []) reports
+    in
+    if doomed <> [] then begin
+      Format.printf "inadmissible: %s@."
+        (String.concat ", " (List.map fst doomed));
+      exit 1
+    end
+  in
+  let term =
+    Term.(
+      const action $ topology_opt_arg $ event_arg $ scenario_arg $ policy_arg
+      $ mrai_arg $ seed_arg $ max_paths_arg $ json_arg $ fixture_arg
+      $ golden_flag)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static pre-flight: certify policy safety via the SPVP dispute \
+          digraph, lint the fault scenario, and derive convergence bounds — \
+          without running the simulator.  Exits nonzero when any analyzed \
+          instance is statically doomed (unsafe policy or lint error).")
     term
 
 (* --- golden --- *)
@@ -386,7 +548,8 @@ let sweep_cmd =
       value & opt int 10
       & info [ "size" ] ~docv:"N" ~doc:"Fixed size when sweeping the MRAI.")
   in
-  let action family axis values size event enhancement mrai seed seeds jobs =
+  let action family axis values size event preflight enhancement mrai seed
+      seeds jobs =
     let topology n =
       match family with
       | `Clique -> Bgpsim.Experiment.Clique n
@@ -395,26 +558,46 @@ let sweep_cmd =
     in
     let make v =
       match axis with
-      | `Size -> spec_of (topology (int_of_float v)) event enhancement mrai seed
-      | `Mrai -> spec_of (topology size) event enhancement v seed
+      | `Size ->
+          spec_of ~preflight (topology (int_of_float v)) event enhancement
+            mrai seed
+      | `Mrai -> spec_of ~preflight (topology size) event enhancement v seed
     in
-    let series =
-      Bgpsim.Sweep.series ~jobs ~make ~seeds:(seed_list ~seed ~seeds) values
+    let x_cell v =
+      match axis with
+      | `Size -> string_of_int (int_of_float v)
+      | `Mrai -> Printf.sprintf "%g" v
     in
+    let metric_cells (m : Metrics.Run_metrics.t) =
+      [
+        Bgpsim.Report.float_cell m.convergence_time;
+        Bgpsim.Report.float_cell m.overall_looping_duration;
+        string_of_int m.ttl_exhaustions;
+        Bgpsim.Report.ratio_cell m.looping_ratio;
+        string_of_int m.updates_sent;
+      ]
+    in
+    let seedl = seed_list ~seed ~seeds in
     let rows =
-      List.map
-        (fun (v, (m : Metrics.Run_metrics.t)) ->
-          [
-            (match axis with
-            | `Size -> string_of_int (int_of_float v)
-            | `Mrai -> Printf.sprintf "%g" v);
-            Bgpsim.Report.float_cell m.convergence_time;
-            Bgpsim.Report.float_cell m.overall_looping_duration;
-            string_of_int m.ttl_exhaustions;
-            Bgpsim.Report.ratio_cell m.looping_ratio;
-            string_of_int m.updates_sent;
-          ])
-        series
+      if preflight = Analysis.Preflight.Off then
+        List.map
+          (fun (v, m) -> x_cell v :: metric_cells m)
+          (Bgpsim.Sweep.series ~jobs ~make ~seeds:seedl values)
+      else
+        (* with the pre-flight on, a statically-doomed point is skipped
+           (and labelled) instead of aborting the whole sweep *)
+        List.map
+          (fun (v, (r : Bgpsim.Sweep.robust)) ->
+            x_cell v
+            ::
+            (match r.metrics with
+            | Some m -> metric_cells m
+            | None ->
+                let label =
+                  if r.rejected <> [] then "rejected" else "failed"
+                in
+                [ label; "-"; "-"; "-"; "-" ]))
+          (Bgpsim.Sweep.series_robust ~jobs ~make ~seeds:seedl values)
     in
     print_string
       (Bgpsim.Report.table
@@ -441,7 +624,8 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ family_arg $ axis_arg $ values_arg $ size_arg $ event_arg
-      $ enhancement_arg $ mrai_arg $ seed_arg $ seeds_arg $ jobs_arg)
+      $ preflight_arg $ enhancement_arg $ mrai_arg $ seed_arg $ seeds_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -648,4 +832,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; topo_cmd; trace_cmd; figures_cmd; golden_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            analyze_cmd;
+            topo_cmd;
+            trace_cmd;
+            figures_cmd;
+            golden_cmd;
+          ]))

@@ -1,7 +1,9 @@
 (* Policy safety: Griffin & Wilfong's BAD GADGET oscillates forever
    under BGP, while the same topology under valley-free Gao-Rexford
    preferences is provably convergent.  The simulator's event budget
-   turns divergence into a measurable verdict.
+   turns divergence into a measurable verdict — and the static
+   dispute-digraph analyzer (DESIGN.md §11) predicts each verdict
+   before a single event is scheduled.
 
      dune exec examples/policy_safety.exe *)
 
@@ -28,12 +30,17 @@ let gadget_policy () =
   in
   { Bgp.Policy.shortest_path with prefer; name = "bad-gadget" }
 
-let verdict label config =
+let verdict ?gr_rel label config =
+  let static =
+    Analysis.Spvp.analyze ?gr_rel ~graph:(gadget_graph ())
+      ~policy:config.Bgp.Config.policy ~origin:0 ()
+  in
   let o =
     Bgp.Routing_sim.run ~config ~max_events:200_000 ~graph:(gadget_graph ())
       ~origin:0 ~event:Bgp.Routing_sim.Tdown ~seed:1 ()
   in
-  Format.printf "%-24s %s  (%d events executed)@." label
+  Format.printf "%-24s static: %-8s dynamic: %s  (%d events executed)@." label
+    (Analysis.Spvp.verdict_name static.verdict)
     (if o.converged then "CONVERGED" else "OSCILLATES (budget exhausted)")
     o.events_executed
 
@@ -49,9 +56,15 @@ let () =
     else if b = 0 then Bgp.Policy.Customer
     else Bgp.Policy.Peer_rel
   in
-  verdict "gao-rexford (valley-free)"
+  verdict ~gr_rel:rel "gao-rexford (valley-free)"
     Bgp.Config.{ default with policy = Bgp.Policy.gao_rexford ~rel; mrai = 1. };
   Format.printf
     "@.BAD GADGET never stabilizes no matter how long it runs — the dispute@.\
      wheel keeps turning — while the Gao-Rexford constraints break the@.\
-     circular preference and guarantee convergence (Gao & Rexford 2001).@."
+     circular preference and guarantee convergence (Gao & Rexford 2001).@.\
+     The static analyzer agrees on every row without simulating: its@.\
+     dispute digraph is acyclic exactly when the policy is safe, and@.\
+     its witness cycle for BAD GADGET is the wheel itself:@.  %a@."
+    Analysis.Spvp.pp
+    (Analysis.Spvp.analyze ~graph:(gadget_graph ())
+       ~policy:(gadget_policy ()) ~origin:0 ())

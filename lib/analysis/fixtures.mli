@@ -1,0 +1,25 @@
+(** Canonical SPVP instances for tests, CI smoke checks and the CLI's
+    [--fixture] flag.
+
+    [bad_gadget] is Griffin & Wilfong's BAD GADGET: origin 0 with three
+    mutually connected neighbors, each preferring the 2-hop route
+    through its clockwise neighbor over its own direct route — the
+    circular envy whose dispute wheel the analyzer must flag [Unsafe].
+    [good_gadget] is the identical topology under shortest-path
+    preferences, which the analyzer must certify [Safe]. *)
+
+type instance = {
+  label : string;
+  graph : Topo.Graph.t;
+  policy : Bgp.Policy.t;
+  origin : int;
+}
+
+val bad_gadget : unit -> instance
+
+val good_gadget : unit -> instance
+
+val all : unit -> instance list
+
+val find : string -> (instance, string) result
+(** Lookup by [label]; the error lists the known labels. *)

@@ -1,0 +1,49 @@
+(** Static linting of fault scenarios.
+
+    Runs entirely before the simulator: resolution errors (dangling
+    node/link references, invalid times — shared with
+    {!Faults.Scenario.resolution_issues}), epoch analysis over the
+    deterministic expansion of the script (shadowed fail/recover
+    pairs, overlapping same-instant epochs, crash/restart mismatches,
+    no-op session resets), and cut analysis predicting the intervals
+    during which nodes are {e guaranteed} partitioned from the
+    destination — so a doomed script is diagnosed without burning a
+    simulation run. *)
+
+type severity = Error | Warning | Info
+
+type issue = { severity : severity; code : string; message : string }
+(** [code] is a stable machine-readable slug (e.g. ["dangling-ref"],
+    ["shadowed-fail"], ["partition"]); [message] is for humans. *)
+
+type partition = {
+  from_ : float;  (** seconds after the injection instant *)
+  until : float option;
+      (** [None]: never restored by the script — a permanent cut *)
+  nodes : int list;
+      (** live nodes predicted unreachable from the origin at some
+          point of the interval (sorted) *)
+}
+
+type report = {
+  issues : issue list;
+  partitions : partition list;
+  steps_analyzed : int;  (** deterministic steps covered by the walk *)
+  random_clauses : int;
+      (** clauses whose expansion is seed-dependent and therefore not
+          statically walked *)
+}
+
+val lint : Faults.Scenario.t -> graph:Topo.Graph.t -> origin:int -> report
+(** When resolution fails the epoch/cut analysis is skipped (the
+    references cannot be trusted); otherwise the deterministic steps
+    are replayed symbolically against link/node state.
+    @raise Invalid_argument on an out-of-range [origin]. *)
+
+val errors : report -> issue list
+
+val has_errors : report -> bool
+
+val severity_name : severity -> string
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,60 @@
+(** Combined static pre-flight: policy safety ({!Spvp}), scenario
+    linting ({!Lint}) and convergence-bound derivation ({!Bounds}) in
+    one pass, gated by a mode the experiment runner and the CLI expose.
+
+    [Off] skips the analysis entirely; [Warn] runs it and reports but
+    never blocks; [Strict] raises {!Rejected} before the simulator
+    schedules a single event when the instance is statically doomed —
+    an [Unsafe] policy verdict or a scenario lint error. *)
+
+type mode = Off | Warn | Strict
+
+exception
+  Rejected of {
+    stage : string;  (** ["policy-safety"] or ["scenario-lint"] *)
+    issues : string list;
+  }
+
+type report = {
+  spvp : Spvp.t;
+  lint : Lint.report option;  (** [None] when no scenario was supplied *)
+  bounds : Bounds.t;
+}
+
+val analyze :
+  ?max_paths:int ->
+  ?gr_rel:(int -> int -> Bgp.Policy.relationship) ->
+  ?scenario:Faults.Scenario.t ->
+  ?clique:int ->
+  ?certified_event:bool ->
+  ?epochs:int ->
+  graph:Topo.Graph.t ->
+  policy:Bgp.Policy.t ->
+  origin:int ->
+  mrai:float ->
+  params:Netcore.Params.t ->
+  unit ->
+  report
+(** [clique] enables the closed-form rank bound when enumeration blows
+    its budget; [certified_event] marks a monotone T_down/T_up-style
+    event (see {!Bounds.derive}).  [epochs] defaults to the scenario's
+    deterministic step count (min 1). *)
+
+val blocking : report -> (string * string list) list
+(** The stages that would make [Strict] reject, with their issues:
+    an [Unsafe] verdict and/or lint [Error]s.  Empty = admissible. *)
+
+val gate : mode -> report -> unit
+(** @raise Rejected in [Strict] mode when {!blocking} is non-empty
+    (first blocking stage wins); no-op otherwise. *)
+
+val mode_of_string : string -> (mode, string) result
+(** ["off"] / ["warn"] / ["strict"]. *)
+
+val mode_name : mode -> string
+
+val to_json : report -> string
+(** Self-contained JSON object (verdict, witness cycle, lint issues,
+    partitions, bounds) for CI artifacts. *)
+
+val pp : Format.formatter -> report -> unit

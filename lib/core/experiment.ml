@@ -26,6 +26,7 @@ type spec = {
   invariants : Faults.Invariant.mode;
   max_events : int;
   max_vtime : float option;
+  preflight : Analysis.Preflight.mode;
 }
 
 let default_spec topology =
@@ -40,6 +41,7 @@ let default_spec topology =
     invariants = Faults.Invariant.Off;
     max_events = 20_000_000;
     max_vtime = None;
+    preflight = Analysis.Preflight.Off;
   }
 
 let event_name = function
@@ -72,7 +74,10 @@ let survivable_links graph origin =
     (Topo.Graph.neighbors graph origin)
   |> List.map (fun peer -> (origin, peer))
 
-let resolve spec =
+(* Like [resolve] but without the scenario sanity check, so the static
+   pre-flight can diagnose a broken script (with every issue collected)
+   before anything raises. *)
+let resolve_raw spec =
   let rng = Dessim.Rng.create ~seed:(spec.seed + 0x7_0b0) in
   let graph, origin =
     match spec.topology with
@@ -139,11 +144,45 @@ let resolve spec =
     | Trecover ->
         let a, b = canonical_link () in
         Bgp.Routing_sim.Trecover { a; b }
-    | Scenario s ->
-        Faults.Scenario.validate s ~graph;
-        Bgp.Routing_sim.Scenario s
+    | Scenario s -> Bgp.Routing_sim.Scenario s
   in
   (graph, origin, event)
+
+let resolve spec =
+  let ((graph, _, _) as resolved) = resolve_raw spec in
+  (match spec.event with
+  | Scenario s -> Faults.Scenario.validate s ~graph
+  | Tdown | Tup | Tlong | Trecover | Tlong_link _ | Trecover_link _ -> ());
+  resolved
+
+(* Pre-flight inputs a spec statically determines: the clique hint
+   enables the closed-form rank bound, and only the monotone
+   T_down/T_up families yield a [Certified] time bound. *)
+let preflight_hints spec =
+  let clique =
+    match spec.topology with Clique n when n >= 2 -> Some n | _ -> None
+  in
+  let certified_event =
+    match spec.event with
+    | Tdown | Tup -> true
+    | Tlong | Tlong_link _ | Trecover | Trecover_link _ | Scenario _ -> false
+  in
+  let scenario = match spec.event with Scenario s -> Some s | _ -> None in
+  (clique, certified_event, scenario)
+
+let analyze ?max_paths ?policy ?gr_rel spec =
+  let graph, origin, _ = resolve_raw spec in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None ->
+        (Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement)
+          .Bgp.Config.policy
+  in
+  let clique, certified_event, scenario = preflight_hints spec in
+  Analysis.Preflight.analyze ?max_paths ?gr_rel ?scenario ?clique
+    ~certified_event ~graph ~policy ~origin ~mrai:spec.mrai
+    ~params:spec.params ()
 
 type run = {
   spec : spec;
@@ -151,6 +190,8 @@ type run = {
   replay : Traffic.Replay.result;
   loops : Loopscan.Scanner.report;
   metrics : Metrics.Run_metrics.t;
+  analysis : Analysis.Preflight.report option;
+  bound_violations : Analysis.Bounds.violation list;
 }
 
 type status =
@@ -206,8 +247,23 @@ let empty_loops : Loopscan.Scanner.report =
 
 let run ?obs ?profile spec =
   let wall_start = Unix.gettimeofday () in
-  let graph, origin, event = resolve spec in
+  let graph, origin, event = resolve_raw spec in
   let config = Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement in
+  let analysis =
+    match spec.preflight with
+    | Analysis.Preflight.Off -> None
+    | Analysis.Preflight.Warn | Analysis.Preflight.Strict ->
+        let clique, certified_event, scenario = preflight_hints spec in
+        let report =
+          Analysis.Preflight.analyze ?scenario ?clique ~certified_event
+            ~graph ~policy:config.Bgp.Config.policy ~origin ~mrai:spec.mrai
+            ~params:spec.params ()
+        in
+        (* in Strict mode a statically-doomed instance is rejected here,
+           before a single event is scheduled *)
+        Analysis.Preflight.gate spec.preflight report;
+        Some report
+  in
   let outcome =
     Bgp.Routing_sim.run ~params:spec.params ~config
       ~max_events:spec.max_events ?max_vtime:spec.max_vtime
@@ -240,6 +296,14 @@ let run ?obs ?profile spec =
       ~wall_clock_s:(Unix.gettimeofday () -. wall_start)
       ~outcome ~replay ~loops ~loops_until:window_end ()
   in
-  { spec; outcome; replay; loops; metrics }
+  let bound_violations =
+    match analysis with
+    | Some report when outcome.converged ->
+        Analysis.Bounds.check report.Analysis.Preflight.bounds
+          ~convergence_time:(Bgp.Routing_sim.convergence_time outcome)
+          ~updates_sent:outcome.updates_after_fail
+    | Some _ | None -> []
+  in
+  { spec; outcome; replay; loops; metrics; analysis; bound_violations }
 
 let metrics spec = (run spec).metrics

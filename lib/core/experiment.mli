@@ -56,18 +56,31 @@ type spec = {
   max_events : int;  (** per-run event budget (hang protection) *)
   max_vtime : float option;
       (** per-run virtual-time budget; [None] = unbounded *)
+  preflight : Analysis.Preflight.mode;
+      (** static pre-flight analysis before the simulator starts:
+          [Off] (default) skips it, [Warn] attaches the report to the
+          run, [Strict] additionally raises
+          {!Analysis.Preflight.Rejected} — before a single event is
+          scheduled — when the instance is statically doomed (an
+          [Unsafe] policy verdict or a scenario lint error such as a
+          dangling link reference) *)
 }
 
 val default_spec : topology -> spec
 (** [T_down], standard BGP, MRAI 30 s, seed 1, paper parameters,
     2 s replay tail, invariants off, 20 M event budget, no
-    virtual-time budget. *)
+    virtual-time budget, pre-flight off. *)
 
 val topology_name : topology -> string
 
 val event_name : event_spec -> string
 
 val node_count : topology -> int
+
+val resolve_raw : spec -> Topo.Graph.t * int * Bgp.Routing_sim.event
+(** Like {!resolve} but without the scenario sanity check — what the
+    static pre-flight runs on, so a broken script is diagnosed by the
+    linter (all issues collected) instead of a first-error raise. *)
 
 val resolve :
   spec -> Topo.Graph.t * int * Bgp.Routing_sim.event
@@ -76,6 +89,20 @@ val resolve :
     @raise Invalid_argument on specs that cannot be realized (e.g.
     [Tlong] on a topology where every candidate link disconnects the
     destination). *)
+
+val analyze :
+  ?max_paths:int ->
+  ?policy:Bgp.Policy.t ->
+  ?gr_rel:(int -> int -> Bgp.Policy.relationship) ->
+  spec ->
+  Analysis.Preflight.report
+(** The static pre-flight report a spec denotes, without running the
+    simulator: policy-safety verdict, scenario lint (when the event is
+    a [Scenario]) and convergence bounds.  [policy] overrides the one
+    the spec's enhancement configuration would use; [gr_rel] enables
+    the Gao-Rexford fallback certificate (see {!Analysis.Spvp.analyze}).
+    Clique topologies get the closed-form rank bound, and [Tdown]/[Tup]
+    a [Certified] time bound. *)
 
 (** Structured convergence status of a finished run: a run that hit an
     event or virtual-time budget is reported as [Non_converged] instead
@@ -98,6 +125,11 @@ type run = {
   replay : Traffic.Replay.result;
   loops : Loopscan.Scanner.report;
   metrics : Metrics.Run_metrics.t;
+  analysis : Analysis.Preflight.report option;
+      (** the pre-flight report; [None] when [spec.preflight = Off] *)
+  bound_violations : Analysis.Bounds.violation list;
+      (** certified static bounds the finished run exceeded — always
+          [] when the pre-flight was off or the run did not converge *)
 }
 
 val run : ?obs:Obs.Bus.t -> ?profile:Obs.Profile.t -> spec -> run

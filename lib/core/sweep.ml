@@ -79,6 +79,7 @@ type robust = {
   attempted : int;
   completed : int;
   non_converged : int;
+  rejected : run_failure list;
   failures : run_failure list;
 }
 
@@ -93,12 +94,19 @@ let robust_of_results spec ~seeds results =
       (fun seed -> function
         | Ok m -> Ok m
         | Error exn ->
-            Error
-              {
-                seed;
-                scenario = describe_spec { spec with Experiment.seed };
-                message = Printexc.to_string exn;
-              })
+            let failure message =
+              { seed; scenario = describe_spec { spec with Experiment.seed }; message }
+            in
+            (* a strict pre-flight rejection is an expected, statically
+               predicted outcome — tallied apart from genuine failures *)
+            (match exn with
+            | Analysis.Preflight.Rejected { stage; issues } ->
+                Error
+                  (`Rejected
+                     (failure
+                        (Printf.sprintf "pre-flight %s: %s" stage
+                           (String.concat "; " issues))))
+            | exn -> Error (`Failed (failure (Printexc.to_string exn)))))
       seeds results
   in
   let ok = List.filter_map Result.to_option results in
@@ -109,9 +117,13 @@ let robust_of_results spec ~seeds results =
     non_converged =
       List.length
         (List.filter (fun (m : Metrics.Run_metrics.t) -> not m.converged) ok);
+    rejected =
+      List.filter_map
+        (function Error (`Rejected f) -> Some f | _ -> None)
+        results;
     failures =
       List.filter_map
-        (function Error f -> Some f | Ok _ -> None)
+        (function Error (`Failed f) -> Some f | _ -> None)
         results;
   }
 

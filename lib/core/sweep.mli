@@ -79,6 +79,11 @@ type robust = {
       (** completed runs that hit an event/virtual-time budget (still
           averaged into [metrics], flagged so the reader can discount
           them) *)
+  rejected : run_failure list;
+      (** runs skipped by a [Strict] pre-flight
+          ({!Analysis.Preflight.Rejected}): the analyzer predicted the
+          instance was doomed, so no simulation was attempted — an
+          expected outcome, kept apart from [failures] *)
   failures : run_failure list;
 }
 

@@ -39,21 +39,33 @@ let make ?name ?(msg_loss = 0.) ?(msg_dup = 0.) specs =
   check_prob "msg_dup" msg_dup;
   { name; specs; msg_loss; msg_dup }
 
-(* --- validation --- *)
+(* --- static resolution (shared with Analysis.Lint) --- *)
 
-let check_time what at =
-  if Float.is_nan at || at < 0. || at = infinity then
-    invalid_arg (Printf.sprintf "Scenario: %s time %g invalid" what at)
-
-let check_link graph (a, b) =
-  if not (Topo.Graph.has_edge graph a b) then
-    invalid_arg (Printf.sprintf "Scenario: link (%d,%d) is not an edge" a b)
-
-let check_node graph v =
-  if v < 0 || v >= Topo.Graph.n_nodes graph then
-    invalid_arg (Printf.sprintf "Scenario: node %d out of range" v)
-
-let validate t ~graph =
+(* Every check [validate] enforces, collected as messages instead of
+   raised one at a time, so the static linter can report all of a
+   scenario's problems in one pass and [validate] stays a thin
+   raise-on-first wrapper. *)
+let resolution_issues t ~graph =
+  let issues = ref [] in
+  let issue fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+  let check_prob what p =
+    if not (p >= 0. && p <= 1.) then
+      issue "Scenario: %s outside [0, 1]" what
+  in
+  let check_time what at =
+    if Float.is_nan at || at < 0. || at = infinity then
+      issue "Scenario: %s time %g invalid" what at
+  in
+  let n = Topo.Graph.n_nodes graph in
+  let check_node what v =
+    if v < 0 || v >= n then issue "Scenario: %s node %d out of range" what v
+  in
+  let check_link (a, b) =
+    if a < 0 || a >= n || b < 0 || b >= n then
+      issue "Scenario: link (%d,%d) has an endpoint out of range" a b
+    else if not (Topo.Graph.has_edge graph a b) then
+      issue "Scenario: link (%d,%d) is not an edge" a b
+  in
   check_prob "msg_loss" t.msg_loss;
   check_prob "msg_dup" t.msg_dup;
   List.iter
@@ -61,77 +73,109 @@ let validate t ~graph =
       | At (at, action) -> (
           check_time "step" at;
           match action with
-          | Link_fail l | Link_recover l | Session_reset l -> check_link graph l
-          | Node_crash v | Node_restart v -> check_node graph v)
+          | Link_fail l | Link_recover l | Session_reset l -> check_link l
+          | Node_crash v | Node_restart v -> check_node "step" v)
       | Flap_storm { link; start; period; count } ->
           check_time "storm start" start;
-          check_link graph link;
+          check_link link;
           if period <= 0. || Float.is_nan period || period = infinity then
-            invalid_arg "Scenario: storm period must be positive and finite";
-          if count <= 0 then invalid_arg "Scenario: storm count must be positive"
+            issue "Scenario: storm period must be positive and finite";
+          if count <= 0 then issue "Scenario: storm count must be positive"
       | Correlated_failure { at; links; recover_after } ->
           check_time "correlated failure" at;
-          if links = [] then
-            invalid_arg "Scenario: correlated failure with no links";
-          List.iter (check_link graph) links;
+          if links = [] then issue "Scenario: correlated failure with no links";
+          List.iter check_link links;
           Option.iter
             (fun r ->
-              if r <= 0. then
-                invalid_arg "Scenario: recover_after must be positive")
+              if r <= 0. then issue "Scenario: recover_after must be positive")
             recover_after
       | Random_link_failures { count; window; recover_after } ->
           if count <= 0 then
-            invalid_arg "Scenario: random failure count must be positive";
+            issue "Scenario: random failure count must be positive";
           if count > Topo.Graph.n_edges graph then
-            invalid_arg "Scenario: more random failures than edges";
+            issue "Scenario: more random failures than edges";
           if window <= 0. || Float.is_nan window || window = infinity then
-            invalid_arg "Scenario: random failure window must be positive";
+            issue "Scenario: random failure window must be positive";
           Option.iter
             (fun r ->
-              if r <= 0. then
-                invalid_arg "Scenario: recover_after must be positive")
+              if r <= 0. then issue "Scenario: recover_after must be positive")
             recover_after)
-    t.specs
+    t.specs;
+  List.rev !issues
+
+let validate t ~graph =
+  match resolution_issues t ~graph with
+  | [] -> ()
+  | first :: _ -> invalid_arg first
 
 (* --- compilation --- *)
+
+(* The deterministic expansion of one clause; [None] for clauses whose
+   expansion draws from the run RNG. *)
+let expand_spec = function
+  | At (at, action) -> Some [ { at; action } ]
+  | Flap_storm { link; start; period; count } ->
+      Some
+        (List.concat
+           (List.init count (fun k ->
+                let base = start +. (float_of_int k *. period) in
+                [
+                  { at = base; action = Link_fail link };
+                  { at = base +. (period /. 2.); action = Link_recover link };
+                ])))
+  | Correlated_failure { at; links; recover_after } ->
+      Some
+        (List.map (fun l -> { at; action = Link_fail l }) links
+        @ (match recover_after with
+          | None -> []
+          | Some r ->
+              List.map
+                (fun l -> { at = at +. r; action = Link_recover l })
+                links))
+  | Random_link_failures _ -> None
+
+let sort_steps = List.stable_sort (fun s1 s2 -> Float.compare s1.at s2.at)
+
+let expand_deterministic t =
+  let random = ref 0 in
+  let steps =
+    List.concat_map
+      (fun spec ->
+        match expand_spec spec with
+        | Some steps -> steps
+        | None ->
+            incr random;
+            [])
+      t.specs
+  in
+  (sort_steps steps, !random)
 
 let compile t ~graph ~rng =
   validate t ~graph;
   let steps =
     List.concat_map
-      (function
-        | At (at, action) -> [ { at; action } ]
-        | Flap_storm { link; start; period; count } ->
-            List.concat
-              (List.init count (fun k ->
-                   let base = start +. (float_of_int k *. period) in
-                   [
-                     { at = base; action = Link_fail link };
-                     { at = base +. (period /. 2.); action = Link_recover link };
-                   ]))
-        | Correlated_failure { at; links; recover_after } ->
-            List.map (fun l -> { at; action = Link_fail l }) links
-            @ (match recover_after with
-              | None -> []
-              | Some r ->
-                  List.map
-                    (fun l -> { at = at +. r; action = Link_recover l })
-                    links)
-        | Random_link_failures { count; window; recover_after } ->
-            let edges = Array.of_list (Topo.Graph.edges graph) in
-            Dessim.Rng.shuffle rng edges;
-            List.concat
-              (List.init count (fun k ->
-                   let l = edges.(k) in
-                   let at = Dessim.Rng.float rng window in
-                   { at; action = Link_fail l }
-                   ::
-                   (match recover_after with
-                   | None -> []
-                   | Some r -> [ { at = at +. r; action = Link_recover l } ]))))
+      (fun spec ->
+        match expand_spec spec with
+        | Some steps -> steps
+        | None -> (
+            match spec with
+            | Random_link_failures { count; window; recover_after } ->
+                let edges = Array.of_list (Topo.Graph.edges graph) in
+                Dessim.Rng.shuffle rng edges;
+                List.concat
+                  (List.init count (fun k ->
+                       let l = edges.(k) in
+                       let at = Dessim.Rng.float rng window in
+                       { at; action = Link_fail l }
+                       ::
+                       (match recover_after with
+                       | None -> []
+                       | Some r ->
+                           [ { at = at +. r; action = Link_recover l } ])))
+            | At _ | Flap_storm _ | Correlated_failure _ -> assert false))
       t.specs
   in
-  List.stable_sort (fun s1 s2 -> Float.compare s1.at s2.at) steps
+  sort_steps steps
 
 (* --- rendering --- *)
 

@@ -71,11 +71,26 @@ val make : ?name:string -> ?msg_loss:float -> ?msg_dup:float -> spec list -> t
 val name : t -> string
 (** The explicit name, or the {!to_string} rendering. *)
 
+val resolution_issues : t -> graph:Topo.Graph.t -> string list
+(** Static resolution of the scenario against a concrete topology:
+    every referenced link must be a graph edge (with in-range
+    endpoints), every node id in range, times finite and nonnegative,
+    storm periods positive, random draws not larger than the edge set.
+    Returns {e all} problems (empty list = valid) — the static
+    pre-flight linter builds on this, and {!validate} raises on the
+    first entry. *)
+
 val validate : t -> graph:Topo.Graph.t -> unit
-(** Checks the scenario against a concrete topology: every referenced
-    link is a graph edge, every node id is in range, times are finite
-    and nonnegative, storm periods positive, random draws not larger
-    than the edge set.  @raise Invalid_argument otherwise. *)
+(** Raises on the first of {!resolution_issues}, so a scenario
+    referencing nodes or links absent from the topology is rejected at
+    compile time rather than silently accepted.
+    @raise Invalid_argument on any resolution issue. *)
+
+val expand_deterministic : t -> step list * int
+(** The time-sorted expansion of every deterministic clause (everything
+    except [Random_link_failures], whose expansion draws from the run
+    RNG), plus the count of random clauses left unexpanded.  Used by
+    the static linter; does {e not} validate. *)
 
 val compile : t -> graph:Topo.Graph.t -> rng:Dessim.Rng.t -> step list
 (** Validates, expands every macro and sorts by time (stable: clauses

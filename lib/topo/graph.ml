@@ -73,6 +73,40 @@ let bfs_distances t ~from =
   done;
   dist
 
+let reachable t ~from ?(blocked_nodes = []) ?(blocked_links = []) () =
+  check_node t from;
+  List.iter (check_node t) blocked_nodes;
+  List.iter
+    (fun (a, b) ->
+      check_node t a;
+      check_node t b)
+    blocked_links;
+  let node_blocked = Array.make t.n false in
+  List.iter (fun v -> node_blocked.(v) <- true) blocked_nodes;
+  let link_blocked = Hashtbl.create (List.length blocked_links) in
+  List.iter (fun (a, b) -> Hashtbl.replace link_blocked (norm a b) ()) blocked_links;
+  let seen = Array.make t.n false in
+  if not node_blocked.(from) then begin
+    seen.(from) <- true;
+    let q = Queue.create () in
+    Queue.add from q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if
+            (not seen.(v))
+            && (not node_blocked.(v))
+            && not (Hashtbl.mem link_blocked (norm u v))
+          then begin
+            seen.(v) <- true;
+            Queue.add v q
+          end)
+        t.adj.(u)
+    done
+  end;
+  seen
+
 let is_connected t =
   if t.n <= 1 then true
   else

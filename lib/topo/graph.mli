@@ -32,6 +32,18 @@ val degree : t -> int -> int
 val is_connected : t -> bool
 (** [true] for the empty and one-node graphs. *)
 
+val reachable :
+  t ->
+  from:int ->
+  ?blocked_nodes:int list ->
+  ?blocked_links:(int * int) list ->
+  unit ->
+  bool array
+(** Per-node reachability from [from] with the given nodes and links
+    (either orientation) removed — the cut view the static scenario
+    linter uses to predict partitions.  [from] itself is unreachable
+    when blocked.  @raise Invalid_argument on out-of-range ids. *)
+
 val bfs_distances : t -> from:int -> int array
 (** Hop distances from [from]; unreachable nodes get [max_int]. *)
 

@@ -115,6 +115,40 @@ let test_scenario_parse_errors () =
 
 let ring5 = Topo.Generators.ring 5
 
+let test_scenario_resolution_issues_collects_all () =
+  let t =
+    S.make
+      [
+        S.At (1., S.Link_fail (0, 2));
+        S.At (2., S.Node_crash 99);
+        S.At (-3., S.Link_fail (0, 1));
+      ]
+  in
+  (* unlike [validate], every problem is reported, in clause order *)
+  Alcotest.(check int) "three issues" 3
+    (List.length (S.resolution_issues t ~graph:ring5));
+  Alcotest.(check (list string)) "clean scenario" []
+    (S.resolution_issues (S.make [ S.At (1., S.Link_fail (0, 1)) ]) ~graph:ring5)
+
+let test_scenario_expand_deterministic () =
+  let t =
+    S.make
+      [
+        S.Random_link_failures { count = 2; window = 5.; recover_after = None };
+        S.At (4., S.Node_crash 2);
+        S.Flap_storm { link = (0, 1); start = 0.; period = 2.; count = 2 };
+      ]
+  in
+  let steps, random_clauses = S.expand_deterministic t in
+  Alcotest.(check int) "random clause counted, not expanded" 1 random_clauses;
+  (* storm: fail@0, recover@1, fail@2, recover@3; then the crash@4 *)
+  Alcotest.(check int) "deterministic steps" 5 (List.length steps);
+  Alcotest.(check bool) "time-sorted" true
+    (List.for_all2
+       (fun (a : S.step) (b : S.step) -> a.at <= b.at)
+       (List.filteri (fun i _ -> i < 4) steps)
+       (List.tl steps))
+
 let test_scenario_validate_rejects () =
   let raises t =
     try
@@ -488,6 +522,9 @@ let () =
           tc "round trip" test_scenario_round_trip;
           tc "parse errors" test_scenario_parse_errors;
           tc "validate rejects" test_scenario_validate_rejects;
+          tc "resolution issues collect all"
+            test_scenario_resolution_issues_collects_all;
+          tc "deterministic expansion" test_scenario_expand_deterministic;
           tc "storm expansion" test_scenario_compile_storm;
           tc "correlated expansion" test_scenario_compile_correlated;
           tc "random draws deterministic"
