@@ -717,6 +717,173 @@ let interference () =
        ~rows);
   say ""
 
+(* --- scale workload: internet-like graphs at the Premore sizes plus
+   300 nodes (EXPERIMENTS.md §"Scale sweep") --- *)
+
+let scale_sizes = [ 29; 48; 75; 110; 300 ]
+
+let scale_seeds = [ 1; 2; 3 ]
+
+(* One (size, event, seed) cell: resolve the spec, then time the
+   routing simulation alone — the packet replay and loop scan that
+   Experiment.run adds are per-packet workloads that never touch an AS
+   path, so they would only dilute the events/sec signal the AS-path
+   representation is measured by. *)
+let scale_cell spec =
+  let graph, origin, event = Experiment.resolve_raw spec in
+  let config =
+    Bgp.Config.of_enhancement ~mrai:spec.Experiment.mrai
+      spec.Experiment.enhancement
+  in
+  let before = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Bgp.Routing_sim.run ~config ~max_events:spec.Experiment.max_events
+      ?max_vtime:spec.Experiment.max_vtime ~graph ~origin ~event
+      ~seed:spec.Experiment.seed ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let after = Gc.quick_stat () in
+  let alloc_words =
+    after.Gc.minor_words +. after.Gc.major_words -. after.Gc.promoted_words
+    -. (before.Gc.minor_words +. before.Gc.major_words
+       -. before.Gc.promoted_words)
+  in
+  (o, wall, alloc_words, after.Gc.top_heap_words)
+
+type scale_row = {
+  sc_size : int;
+  sc_event : string;
+  sc_events : int;
+  sc_wall_s : float;
+  sc_conv_s : float;
+  sc_converged : bool;
+  sc_alloc_mw : float;       (* words allocated during the sim, in millions *)
+  sc_top_heap_w : int;       (* process peak heap words (Gc.quick_stat) *)
+  sc_paths : int;            (* arena occupancy: distinct paths interned *)
+}
+
+let scale_table ~pool ~max_events sizes =
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun (label, make) ->
+            List.map
+              (fun seed ->
+                (n, label, { (make n) with Experiment.seed; max_events }))
+              scale_seeds)
+          [
+            ("tdown", spec_internet);
+            ("tlong", spec_internet_tlong);
+          ])
+      sizes
+  in
+  let results =
+    Parallel.map ~pool
+      (fun (n, label, spec) ->
+        let o, wall, alloc_words, top_heap = scale_cell spec in
+        (n, label, o, wall, alloc_words, top_heap))
+      cells
+    |> List.filter_map (function Ok r -> Some r | Error _ -> None)
+  in
+  (* aggregate the seeds of each (size, event) point: rates come from
+     summed events over summed wall so slow seeds weigh in proportion *)
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun label ->
+          let mine =
+            List.filter (fun (n', l, _, _, _, _) -> n' = n && l = label) results
+          in
+          match mine with
+          | [] -> None
+          | _ ->
+              let sum f = List.fold_left (fun acc r -> acc +. f r) 0. mine in
+              let events =
+                List.fold_left
+                  (fun acc (_, _, (o : Bgp.Routing_sim.outcome), _, _, _) ->
+                    acc + o.events_executed)
+                  0 mine
+              in
+              Some
+                {
+                  sc_size = n;
+                  sc_event = label;
+                  sc_events = events;
+                  sc_wall_s = sum (fun (_, _, _, w, _, _) -> w);
+                  sc_conv_s =
+                    sum (fun (_, _, o, _, _, _) ->
+                        Bgp.Routing_sim.convergence_time o)
+                    /. float_of_int (List.length mine);
+                  sc_converged =
+                    List.for_all
+                      (fun (_, _, (o : Bgp.Routing_sim.outcome), _, _, _) ->
+                        o.converged)
+                      mine;
+                  sc_alloc_mw =
+                    sum (fun (_, _, _, _, a, _) -> a) /. 1e6;
+                  sc_top_heap_w =
+                    List.fold_left
+                      (fun acc (_, _, _, _, _, th) -> Stdlib.max acc th)
+                      0 mine;
+                  sc_paths =
+                    List.fold_left
+                      (fun acc (_, _, (o : Bgp.Routing_sim.outcome), _, _, _) ->
+                        Stdlib.max acc o.paths_interned)
+                      0 mine;
+                })
+        [ "tdown"; "tlong" ])
+    sizes
+
+let scale_row_cells r =
+  [
+    string_of_int r.sc_size;
+    r.sc_event;
+    string_of_int r.sc_events;
+    Printf.sprintf "%.3f" r.sc_wall_s;
+    (if r.sc_wall_s > 0. then
+       Printf.sprintf "%.0f" (float_of_int r.sc_events /. r.sc_wall_s)
+     else "-");
+    Report.float_cell r.sc_conv_s;
+    (if r.sc_converged then "yes" else "NO");
+    Printf.sprintf "%.1f" r.sc_alloc_mw;
+    Printf.sprintf "%.1f" (float_of_int r.sc_top_heap_w /. 1e6);
+    string_of_int r.sc_paths;
+  ]
+
+let scale_header =
+  [
+    "n"; "event"; "events"; "wall(s)"; "ev/s"; "conv(s)"; "conv?"; "alloc-Mw";
+    "heap-Mw"; "paths";
+  ]
+
+let scale_group ~pool ~smoke () =
+  let sizes = if smoke then [ 110 ] else scale_sizes in
+  (* the budget bounds a runaway policy dispute, not a healthy run:
+     T_down/T_long on these graphs drain in tens of thousands of
+     events *)
+  let max_events = 5_000_000 in
+  say "=== Scale: T_down/T_long on internet-like graphs (seeds {%s}) ===@."
+    (String.concat "," (List.map string_of_int scale_seeds));
+  let rows = scale_table ~pool ~max_events sizes in
+  print_string
+    (Report.table
+       ~title:
+         (if smoke then "scale smoke (n=110, bounded events)"
+          else "scale sweep: routing-sim throughput")
+       ~header:scale_header
+       ~rows:(List.map scale_row_cells rows));
+  say "";
+  (match List.filter (fun r -> not r.sc_converged) rows with
+  | [] -> ()
+  | bad ->
+      say "NON-CONVERGED points: %s"
+        (String.concat ", "
+           (List.map (fun r -> Printf.sprintf "%d/%s" r.sc_size r.sc_event) bad));
+      if smoke then exit 1);
+  List.fold_left (fun acc r -> acc + r.sc_events) 0 rows
+
 (* --- observability counter registries (DESIGN.md §10) --- *)
 
 let counters_group ~pool =
@@ -905,6 +1072,8 @@ let groups =
     ("damping", fun ~pool:_ -> damping (); 0);
     ("interference", fun ~pool:_ -> interference (); 0);
     ("counters", fun ~pool -> counters_group ~pool);
+    ("scale", fun ~pool -> scale_group ~pool ~smoke:false ());
+    ("scale-smoke", fun ~pool -> scale_group ~pool ~smoke:true ());
     ("micro", fun ~pool:_ -> micro (); 0);
   ]
 

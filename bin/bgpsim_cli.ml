@@ -518,6 +518,93 @@ let golden_cmd =
 
 (* --- sweep --- *)
 
+(* The scale preset (EXPERIMENTS.md §"Scale sweep"): T_down and T_long
+   on internet-like graphs at the Premore sizes plus 300 nodes, timing
+   the routing simulation alone.  Mirrors the bench's `scale` group so
+   the same workload is reachable without building the bench. *)
+let scale_preset_sizes = [ 29; 48; 75; 110; 300 ]
+
+let run_scale_preset ~sizes ~preflight ~enhancement ~mrai ~seeds:seedl =
+  let cell (spec : Bgpsim.Experiment.spec) =
+    let graph, origin, event = Bgpsim.Experiment.resolve spec in
+    let config = Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Bgp.Routing_sim.run ~config ~max_events:spec.max_events ~graph ~origin
+        ~event ~seed:spec.seed ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (o, wall, (Gc.quick_stat ()).top_heap_words)
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (label, ev) ->
+            let cells =
+              List.map
+                (fun seed ->
+                  cell
+                    (spec_of ~preflight ~max_events:5_000_000
+                       (Bgpsim.Experiment.Internet n) ev enhancement mrai seed))
+                seedl
+            in
+            let events =
+              List.fold_left
+                (fun a ((o : Bgp.Routing_sim.outcome), _, _) ->
+                  a + o.events_executed)
+                0 cells
+            in
+            let wall = List.fold_left (fun a (_, w, _) -> a +. w) 0. cells in
+            let conv =
+              List.fold_left
+                (fun a (o, _, _) -> a +. Bgp.Routing_sim.convergence_time o)
+                0. cells
+              /. float_of_int (List.length cells)
+            in
+            let converged =
+              List.for_all
+                (fun ((o : Bgp.Routing_sim.outcome), _, _) -> o.converged)
+                cells
+            in
+            let heap =
+              List.fold_left (fun a (_, _, h) -> Stdlib.max a h) 0 cells
+            in
+            let paths =
+              List.fold_left
+                (fun a ((o : Bgp.Routing_sim.outcome), _, _) ->
+                  Stdlib.max a o.paths_interned)
+                0 cells
+            in
+            [
+              string_of_int n;
+              label;
+              string_of_int events;
+              Printf.sprintf "%.3f" wall;
+              (if wall > 0. then
+                 Printf.sprintf "%.0f" (float_of_int events /. wall)
+               else "-");
+              Bgpsim.Report.float_cell conv;
+              (if converged then "yes" else "NO");
+              Printf.sprintf "%.1f" (float_of_int heap /. 1e6);
+              string_of_int paths;
+            ])
+          [ ("tdown", Bgpsim.Experiment.Tdown); ("tlong", Bgpsim.Experiment.Tlong) ])
+      sizes
+  in
+  print_string
+    (Bgpsim.Report.table
+       ~title:
+         (Printf.sprintf
+            "scale preset: T_down/T_long on internet graphs (%d seed(s))"
+            (List.length seedl))
+       ~header:
+         [
+           "n"; "event"; "events"; "wall(s)"; "ev/s"; "conv(s)"; "conv?";
+           "heap-Mw"; "paths";
+         ]
+       ~rows)
+
 let sweep_cmd =
   let axis_arg =
     Arg.(
@@ -527,9 +614,22 @@ let sweep_cmd =
   in
   let values_arg =
     Arg.(
-      required
+      value
       & opt (some (list float)) None
-      & info [ "values" ] ~docv:"V1,V2,..." ~doc:"Sweep values.")
+      & info [ "values" ] ~docv:"V1,V2,..."
+          ~doc:"Sweep values. Required unless $(b,--preset) is given.")
+  in
+  let preset_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("scale", `Scale) ])) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Named sweep preset. $(b,scale) times T_down and T_long on \
+             internet-like graphs at sizes 29,48,75,110,300 (override with \
+             $(b,--values)), reporting events/sec, peak heap words and \
+             arena occupancy; the timed runs are sequential, so $(b,--jobs) \
+             is ignored.")
   in
   let family_arg =
     Arg.(
@@ -549,7 +649,24 @@ let sweep_cmd =
       & info [ "size" ] ~docv:"N" ~doc:"Fixed size when sweeping the MRAI.")
   in
   let action family axis values size event preflight enhancement mrai seed
-      seeds jobs =
+      seeds jobs preset =
+    match preset with
+    | Some `Scale ->
+        let sizes =
+          match values with
+          | Some vs -> List.map int_of_float vs
+          | None -> scale_preset_sizes
+        in
+        run_scale_preset ~sizes ~preflight ~enhancement ~mrai
+          ~seeds:(seed_list ~seed ~seeds)
+    | None ->
+    let values =
+      match values with
+      | Some vs -> vs
+      | None ->
+          prerr_endline "sweep: --values is required unless --preset is given";
+          exit 2
+    in
     let topology n =
       match family with
       | `Clique -> Bgpsim.Experiment.Clique n
@@ -625,11 +742,13 @@ let sweep_cmd =
     Term.(
       const action $ family_arg $ axis_arg $ values_arg $ size_arg $ event_arg
       $ preflight_arg $ enhancement_arg $ mrai_arg $ seed_arg $ seeds_arg
-      $ jobs_arg)
+      $ jobs_arg $ preset_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Sweep network size or MRAI and print the resulting series")
+       ~doc:
+         "Sweep network size or MRAI and print the resulting series; \
+          --preset scale runs the large-topology throughput workload")
     term
 
 (* --- topo --- *)

@@ -20,15 +20,18 @@ type t = {
 
 (* The candidate a node ranks for a stored path [v :: tail]: the AS path
    it received is [tail], from peer [hd tail]. *)
-let candidate_of = function
+let candidate_of ~table = function
   | _ :: (peer :: _ as tail) ->
-      { Bgp.Policy.peer; path = Bgp.As_path.of_list tail }
+      { Bgp.Policy.peer; path = Bgp.As_path.of_list ~table tail }
   | _ -> invalid_arg "Spvp.candidate_of: origin path has no candidate"
 
 let permitted_paths ~graph ~(policy : Bgp.Policy.t) ~origin ~max_paths =
   let n = Topo.Graph.n_nodes graph in
   if origin < 0 || origin >= n then
     invalid_arg "Spvp.permitted_paths: origin out of range";
+  (* local arena: the enumeration re-interns shared suffixes constantly,
+     and the analysis should not grow the domain's default table *)
+  let table = Bgp.As_path.Table.create () in
   let per_node = Array.make n [] in
   per_node.(origin) <- [ [ origin ] ];
   let total = ref 1 in
@@ -45,7 +48,9 @@ let permitted_paths ~graph ~(policy : Bgp.Policy.t) ~origin ~max_paths =
       (fun v ->
         if (not !blown) && not (List.mem v p) then
           if policy.export_ok ~self:u ~to_peer:v ~learned_from then begin
-            let cand = { Bgp.Policy.peer = u; path = Bgp.As_path.of_list p } in
+            let cand =
+              { Bgp.Policy.peer = u; path = Bgp.As_path.of_list ~table p }
+            in
             if policy.import_ok ~self:v cand then begin
               let pv = v :: p in
               per_node.(v) <- pv :: per_node.(v);
@@ -66,7 +71,8 @@ let permitted_paths ~graph ~(policy : Bgp.Policy.t) ~origin ~max_paths =
           per_node.(v) <-
             List.sort
               (fun p1 p2 ->
-                policy.prefer ~self:v (candidate_of p1) (candidate_of p2))
+                policy.prefer ~self:v (candidate_of ~table p1)
+                  (candidate_of ~table p2))
               ps)
       per_node;
     Ok { per_node; total = !total }

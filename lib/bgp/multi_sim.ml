@@ -11,6 +11,7 @@ type outcome = {
   converged : bool;
   termination : Routing_sim.termination;
   invariant_violations : (Faults.Invariant.kind * int) list;
+  paths_interned : int;
 }
 
 let convergence_time o = o.victim_convergence_end -. o.t_fail
@@ -83,6 +84,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
   let speaker i =
     match speakers.(i) with Some s -> s | None -> assert false
   in
+  (* one arena for the whole run: paths flowing between speakers are
+     handles into it, so RIB comparisons are pointer tests *)
+  let paths = As_path.Table.create () in
   let prefix_list = List.map (fun origin -> Prefix.make ~origin ()) origins in
   let victim_prefix = List.nth prefix_list victim in
   let fibs =
@@ -143,7 +147,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     let rng = Dessim.Rng.split root_rng ~label:("speaker-" ^ string_of_int i) in
     speakers.(i) <-
       Some
-        (Speaker.create ~checker ~obs ~engine ~config ~rng ~node:i
+        (Speaker.create ~checker ~obs ~paths ~engine ~config ~rng ~node:i
            ~peers:(Topo.Graph.neighbors graph i)
            ~emit:(emit_from i)
            ~on_next_hop_change:(on_next_hop_change_for i)
@@ -192,7 +196,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
         c.flappers);
   Dessim.Engine.run ?until:max_vtime ~max_events engine;
   (match Obs.Bus.counters obs with
-  | Some c -> Obs.Counters.add_events c (Dessim.Engine.events_executed engine)
+  | Some c ->
+      Obs.Counters.add_events c (Dessim.Engine.events_executed engine);
+      Obs.Counters.observe_paths_interned c ~count:(As_path.Table.size paths)
   | None -> ());
   let termination =
     if Dessim.Engine.events_executed engine >= max_events then
@@ -215,4 +221,5 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     converged;
     termination;
     invariant_violations = Faults.Invariant.violations checker;
+    paths_interned = As_path.Table.size paths;
   }

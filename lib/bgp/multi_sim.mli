@@ -37,6 +37,9 @@ type outcome = {
   converged : bool;
   termination : Routing_sim.termination;  (** how the post-failure phase ended *)
   invariant_violations : (Faults.Invariant.kind * int) list;
+  paths_interned : int;
+      (** distinct AS paths interned into the run's arena (all prefixes
+          share it); see DESIGN.md §12 *)
 }
 
 val convergence_time : outcome -> float

@@ -20,6 +20,7 @@ type outcome = {
   withdrawals_after_fail : int;
   events_executed : int;
   route_changes : int;
+  paths_interned : int;
   invariant_violations : (Faults.Invariant.kind * int) list;
 }
 
@@ -98,6 +99,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
   let node_procs =
     Array.init n (fun i -> Netcore.Node_proc.create ~obs ~node:i ())
   in
+  (* one hash-consing arena per simulation: every speaker interns into
+     it, so the handles in flight compare by pointer (DESIGN.md §12) *)
+  let paths = As_path.Table.create () in
   let speakers = Array.make n None in
   let speaker i =
     match speakers.(i) with
@@ -149,7 +153,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
     let rng = Dessim.Rng.split root_rng ~label:("speaker-" ^ string_of_int i) in
     speakers.(i) <-
       Some
-        (Speaker.create ~checker ~obs ~engine ~config ~rng ~node:i
+        (Speaker.create ~checker ~obs ~paths ~engine ~config ~rng ~node:i
            ~peers:(Topo.Graph.neighbors graph i)
            ~emit:(emit_from i)
            ~on_next_hop_change:(on_next_hop_change_for i)
@@ -284,7 +288,9 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
         (Faults.Scenario.compile scenario ~graph ~rng:scenario_rng));
   Dessim.Engine.run ?until:max_vtime ~max_events engine;
   (match Obs.Bus.counters obs with
-  | Some c -> Obs.Counters.add_events c (Dessim.Engine.events_executed engine)
+  | Some c ->
+      Obs.Counters.add_events c (Dessim.Engine.events_executed engine);
+      Obs.Counters.observe_paths_interned c ~count:(As_path.Table.size paths)
   | None -> ());
   let termination =
     if Dessim.Engine.events_executed engine >= max_events then Event_budget
@@ -320,5 +326,6 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
       Netcore.Trace.count_kind_from trace ~from:t_fail ~kind:Netcore.Trace.Withdraw;
     events_executed = Dessim.Engine.events_executed engine;
     route_changes;
+    paths_interned = As_path.Table.size paths;
     invariant_violations = Faults.Invariant.violations checker;
   }

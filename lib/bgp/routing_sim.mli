@@ -64,6 +64,9 @@ type outcome = {
   withdrawals_after_fail : int;
   events_executed : int;
   route_changes : int;  (** total best-route changes across all speakers *)
+  paths_interned : int;
+      (** distinct AS paths interned into the run's arena — an
+          occupancy/path-diversity gauge (see DESIGN.md §12) *)
   invariant_violations : (Faults.Invariant.kind * int) list;
       (** nonzero counters from the run's invariant checker (always []
           when [invariants] is [Off] or [Strict] — strict raises) *)

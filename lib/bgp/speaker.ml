@@ -23,6 +23,7 @@ type t = {
   rng : Dessim.Rng.t;
   checker : Faults.Invariant.t;
   obs : Obs.Bus.t;
+  paths : As_path.Table.t;
   live_peers : Peer_table.t;
   mutable alive : bool;
   emit : peer:int -> Msg.t -> unit;
@@ -31,8 +32,8 @@ type t = {
   mutable route_changes : int;
 }
 
-let create ?(checker = Faults.Invariant.off) ?(obs = Obs.Bus.off) ~engine
-    ~config ~rng ~node ~peers ~emit ~on_next_hop_change () =
+let create ?(checker = Faults.Invariant.off) ?(obs = Obs.Bus.off) ?paths
+    ~engine ~config ~rng ~node ~peers ~emit ~on_next_hop_change () =
   Config.validate config;
   {
     node;
@@ -41,6 +42,7 @@ let create ?(checker = Faults.Invariant.off) ?(obs = Obs.Bus.off) ~engine
     rng;
     checker;
     obs;
+    paths = (match paths with Some t -> t | None -> As_path.default_table ());
     live_peers = Peer_table.create peers;
     alive = true;
     emit;
@@ -54,9 +56,11 @@ let node t = t.node
 let peers t = Peer_table.to_list t.live_peers
 
 let dest_state t prefix =
-  match Hashtbl.find_opt t.dests prefix with
-  | Some st -> st
-  | None ->
+  (* runs once per processed message: find/Not_found over find_opt to
+     keep the hit path allocation-free *)
+  match Hashtbl.find t.dests prefix with
+  | st -> st
+  | exception Not_found ->
       let st =
         {
           prefix;
@@ -77,9 +81,9 @@ let draw_mrai_interval t () =
   else Dessim.Rng.uniform t.rng ~lo:(t.config.mrai_jitter_min *. m) ~hi:m
 
 let out_state t st peer =
-  match Hashtbl.find_opt st.outs peer with
-  | Some out -> out
-  | None ->
+  match Hashtbl.find st.outs peer with
+  | out -> out
+  | exception Not_found ->
       let advertised = ref None in
       let transmit msg =
         (* Duplicate suppression: skip messages that would not change
@@ -191,7 +195,7 @@ let desired_announcement t st peer =
              ~learned_from:b.learned_from)
       then None
       else
-        let full = As_path.prepend t.node b.path in
+        let full = As_path.extend ~table:t.paths t.node b.path in
         if t.config.ssld && As_path.contains full peer then None
         else Some full
 
@@ -267,13 +271,13 @@ let recompute t st =
    path to be [latest] (None = no route), any entry from another peer
    that routes through [speaker] with a different sub-path from
    [speaker] onward is stale and removed. --- *)
-let assertion_purge st ~speaker ~latest =
+let assertion_purge t st ~speaker ~latest =
   let stale =
     Hashtbl.fold
       (fun peer path acc ->
         if peer = speaker then acc
         else
-          match As_path.suffix_from path speaker with
+          match As_path.suffix_from ~table:t.paths path speaker with
           | None -> acc
           | Some suffix -> (
               match latest with
@@ -375,7 +379,7 @@ let handle_msg t ~from msg =
       if As_path.contains path t.node then Hashtbl.remove st.rib_in from
       else Hashtbl.replace st.rib_in from path;
       if t.config.assertion then
-        assertion_purge st ~speaker:from ~latest:(Some path);
+        assertion_purge t st ~speaker:from ~latest:(Some path);
       check_poison_reverse t st ~from;
       recompute t st;
       schedule_reuse t st
@@ -385,7 +389,7 @@ let handle_msg t ~from msg =
         Damping.on_withdrawal (damp_state t st from)
           ~now:(Dessim.Engine.now t.engine);
       Hashtbl.remove st.rib_in from;
-      if t.config.assertion then assertion_purge st ~speaker:from ~latest:None;
+      if t.config.assertion then assertion_purge t st ~speaker:from ~latest:None;
       recompute t st;
       schedule_reuse t st
 
@@ -462,7 +466,7 @@ let rib_in t prefix =
   | None -> []
   | Some st ->
       Hashtbl.fold (fun peer path acc -> (peer, path) :: acc) st.rib_in []
-      |> List.sort compare
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let advertised_to t prefix ~peer =
   match Hashtbl.find_opt t.dests prefix with

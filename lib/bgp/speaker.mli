@@ -24,6 +24,7 @@ type t
 val create :
   ?checker:Faults.Invariant.t ->
   ?obs:Obs.Bus.t ->
+  ?paths:As_path.Table.t ->
   engine:Dessim.Engine.t ->
   config:Config.t ->
   rng:Dessim.Rng.t ->
@@ -46,7 +47,12 @@ val create :
 
     [obs] (default {!Obs.Bus.off}) receives [Originate]/[Withdrawal]
     trace events, per-peer [Mrai_fire] events and decision-process
-    counter bumps. *)
+    counter bumps.
+
+    [paths] (default: the domain's {!As_path.default_table}) is the
+    arena this speaker interns announcement paths into; a simulation
+    passes one shared arena to all of its speakers so that handles
+    flowing between them compare in O(1). *)
 
 val node : t -> int
 

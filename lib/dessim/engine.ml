@@ -1,10 +1,22 @@
-type handle = { mutable state : [ `Pending | `Cancelled | `Fired ] }
+(* One record serves as both the scheduled event and the caller's
+   cancellation handle — a separate handle record would be one more
+   allocation per scheduled event for no information. *)
+type handle = {
+  mutable state : [ `Pending | `Cancelled | `Fired ];
+  action : unit -> unit;
+  tag : string option;
+}
 
-type event = { action : unit -> unit; handle : handle; tag : string option }
+type event = handle
+
+(* The clock lives in its own single-float record: an all-float record
+   is flat, so advancing the clock mutates in place instead of boxing a
+   fresh float per event (as a float field in the mixed [t] would). *)
+type clock = { mutable now : float }
 
 type t = {
   queue : event Event_queue.t;
-  mutable clock : float;
+  clock : clock;
   mutable executed : int;
   mutable clock_monitor : (old_time:float -> new_time:float -> unit) option;
   mutable profiler :
@@ -14,7 +26,7 @@ type t = {
 let create ?(now = 0.) () =
   {
     queue = Event_queue.create ();
-    clock = now;
+    clock = { now };
     executed = 0;
     clock_monitor = None;
     profiler = None;
@@ -23,19 +35,20 @@ let create ?(now = 0.) () =
 let set_clock_monitor t f = t.clock_monitor <- Some f
 let set_step_profiler t f = t.profiler <- Some f
 
-let now t = t.clock
+let now t = t.clock.now
 
 let schedule ?tag t ~at action =
-  if at < t.clock then
+  if at < t.clock.now then
     invalid_arg
-      (Printf.sprintf "Engine.schedule: time %g is before now %g" at t.clock);
-  let handle = { state = `Pending } in
-  Event_queue.push t.queue ~time:at { action; handle; tag };
+      (Printf.sprintf "Engine.schedule: time %g is before now %g" at
+         t.clock.now);
+  let handle = { state = `Pending; action; tag } in
+  Event_queue.push t.queue ~time:at handle;
   handle
 
 let schedule_after ?tag t ~delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  schedule ?tag t ~at:(t.clock +. delay) action
+  schedule ?tag t ~at:(t.clock.now +. delay) action
 
 let cancel handle =
   match handle.state with
@@ -45,38 +58,41 @@ let cancel handle =
 let cancelled handle = handle.state = `Cancelled
 
 let rec step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, ev) -> (
-      match ev.handle.state with
-      | `Cancelled -> step t
-      | `Fired -> assert false
-      | `Pending ->
-          (match t.clock_monitor with
-          | Some f -> f ~old_time:t.clock ~new_time:time
-          | None -> ());
-          t.clock <- time;
-          ev.handle.state <- `Fired;
-          t.executed <- t.executed + 1;
-          (match t.profiler with
-          | None -> ev.action ()
-          | Some p -> p ~time ~tag:ev.tag ~run:ev.action);
-          true)
+  if Event_queue.is_empty t.queue then false
+  else
+    let time = Event_queue.top_time t.queue in
+    let ev = Event_queue.pop_item t.queue in
+    match ev.state with
+    | `Cancelled -> step t
+    | `Fired -> assert false
+    | `Pending ->
+        (match t.clock_monitor with
+        | Some f -> f ~old_time:t.clock.now ~new_time:time
+        | None -> ());
+        t.clock.now <- time;
+        ev.state <- `Fired;
+        t.executed <- t.executed + 1;
+        (match t.profiler with
+        | None -> ev.action ()
+        | Some p -> p ~time ~tag:ev.tag ~run:ev.action);
+        true
 
 let run ?until ?max_events t =
-  let budget_left () =
-    match max_events with None -> true | Some m -> t.executed < m
-  in
-  let next_in_bound () =
-    match (until, Event_queue.peek_time t.queue) with
-    | _, None -> true (* step will return false *)
-    | None, Some _ -> true
-    | Some limit, Some next -> next <= limit
-  in
-  let rec loop () =
-    if budget_left () && next_in_bound () then if step t then loop ()
-  in
-  loop ()
+  let budget = match max_events with None -> max_int | Some m -> m in
+  match until with
+  | None ->
+      let rec loop () = if t.executed < budget && step t then loop () in
+      loop ()
+  | Some limit ->
+      let rec loop () =
+        if
+          t.executed < budget
+          && (Event_queue.is_empty t.queue
+              || Event_queue.top_time t.queue <= limit)
+          && step t
+        then loop ()
+      in
+      loop ()
 
 let pending t = Event_queue.size t.queue
 
@@ -86,7 +102,7 @@ let rec next_live_time t =
   match Event_queue.peek t.queue with
   | None -> None
   | Some (time, ev) ->
-      if ev.handle.state = `Cancelled then begin
+      if ev.state = `Cancelled then begin
         ignore (Event_queue.pop t.queue : (float * event) option);
         next_live_time t
       end

@@ -1,7 +1,15 @@
-type 'a entry = { time : float; seq : int; item : 'a }
+(* Binary min-heap over (time, sequence), stored as three parallel
+   arrays (struct-of-arrays).  A heap of records would box the float
+   time of every entry and allocate an entry per push plus an option
+   and a tuple per pop — at simulation scale that is allocation (and
+   minor-GC work) per event.  The columns allocate nothing per
+   operation: times live in a flat float array (unboxed), and the sift
+   loops touch only the two scalar columns until the final write. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable items : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -9,90 +17,116 @@ type 'a t = {
 let initial_capacity = 64
 
 (* Filler for slots at or above [size].  Such slots are never read as
-   entries (every traversal is bounded by [size]), they only need some
-   value so the array does not retain popped entries — a popped event's
+   items (every traversal is bounded by [size]), they only need some
+   value so the array does not retain popped items — a popped event's
    closure would otherwise stay reachable until its slot happened to be
-   overwritten.  An immediate int is safe here because ['a entry] is a
-   pointer type, so the backing array is never a float array. *)
-let dummy : unit -> 'a entry = fun () -> Obj.magic 0
+   overwritten.  An immediate int is safe as long as ['a] is never a
+   bare float (the items column must not be a flat float array); the
+   engine stores event records there. *)
+let dummy : unit -> 'a = fun () -> Obj.magic 0
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () =
+  { times = [||]; seqs = [||]; items = [||]; size = 0; next_seq = 0 }
 
 let is_empty t = t.size = 0
 
 let size t = t.size
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let ensure_capacity t =
-  let cap = Array.length t.heap in
+  let cap = Array.length t.seqs in
   if t.size >= cap then begin
-    let bigger =
-      Array.make (Stdlib.max initial_capacity (2 * cap)) (dummy ())
-    in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
+    let ncap = Stdlib.max initial_capacity (2 * cap) in
+    let times = Array.make ncap 0. in
+    let seqs = Array.make ncap 0 in
+    let items = Array.make ncap (dummy ()) in
+    Array.blit t.times 0 times 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.items 0 items 0 t.size;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.items <- items
   end
 
-(* Hole-shifting sifts: instead of pairwise swaps (three array writes
-   per level), slide the blocking entries into the hole and write the
-   moving entry once at its final position. *)
-let sift_up t i entry =
+(* Hole-shifting sifts: the moving entry rides along as three scalars
+   (the float stays unboxed in registers) and is written exactly once,
+   at its final position. *)
+let sift_up t i time seq item =
   let i = ref i in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if earlier entry t.heap.(parent) then begin
-      t.heap.(!i) <- t.heap.(parent);
+    let pt = Array.unsafe_get t.times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get t.seqs parent) then begin
+      Array.unsafe_set t.times !i pt;
+      Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs parent);
+      Array.unsafe_set t.items !i (Array.unsafe_get t.items parent);
       i := parent
     end
     else continue := false
   done;
-  t.heap.(!i) <- entry
+  Array.unsafe_set t.times !i time;
+  Array.unsafe_set t.seqs !i seq;
+  Array.unsafe_set t.items !i item
 
-let sift_down t i entry =
+let sift_down t i time seq item =
   let i = ref i in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    let best = ref entry in
-    if l < t.size && earlier t.heap.(l) !best then begin
-      smallest := l;
-      best := t.heap.(l)
+    let smallest = ref (-1) in
+    let bt = ref time and bs = ref seq in
+    if l < t.size then begin
+      let lt = Array.unsafe_get t.times l in
+      if lt < !bt || (lt = !bt && Array.unsafe_get t.seqs l < !bs) then begin
+        smallest := l;
+        bt := lt;
+        bs := Array.unsafe_get t.seqs l
+      end
     end;
-    if r < t.size && earlier t.heap.(r) !best then smallest := r;
-    if !smallest = !i then continue := false
+    if r < t.size then begin
+      let rt = Array.unsafe_get t.times r in
+      if rt < !bt || (rt = !bt && Array.unsafe_get t.seqs r < !bs) then
+        smallest := r
+    end;
+    let s = !smallest in
+    if s < 0 then continue := false
     else begin
-      t.heap.(!i) <- t.heap.(!smallest);
-      i := !smallest
+      Array.unsafe_set t.times !i (Array.unsafe_get t.times s);
+      Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs s);
+      Array.unsafe_set t.items !i (Array.unsafe_get t.items s);
+      i := s
     end
   done;
-  t.heap.(!i) <- entry
+  Array.unsafe_set t.times !i time;
+  Array.unsafe_set t.seqs !i seq;
+  Array.unsafe_set t.items !i item
 
 let push t ~time item =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  let entry = { time; seq = t.next_seq; item } in
-  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   ensure_capacity t;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1) entry
+  sift_up t (t.size - 1) time seq item
+
+let top_time t = t.times.(0)
+
+let pop_item t =
+  let item = t.items.(0) in
+  t.size <- t.size - 1;
+  let n = t.size in
+  if n > 0 then
+    sift_down t 0 t.times.(n) t.seqs.(n) (Array.unsafe_get t.items n);
+  t.items.(n) <- dummy ();
+  item
 
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      let last = t.heap.(t.size) in
-      t.heap.(t.size) <- dummy ();
-      sift_down t 0 last
-    end
-    else t.heap.(0) <- dummy ();
-    Some (top.time, top.item)
-  end
+  else
+    let time = top_time t in
+    let item = pop_item t in
+    Some (time, item)
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
-let peek t =
-  if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).item)
+let peek t = if t.size = 0 then None else Some (t.times.(0), t.items.(0))

@@ -17,6 +17,19 @@ val push : 'a t -> time:float -> 'a -> unit
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the earliest item. *)
 
+(** {2 Non-allocating accessors}
+
+    The engine's inner loop runs once per simulation event; the
+    option/tuple wrappers above would be its only allocations. *)
+
+val top_time : 'a t -> float
+(** Timestamp of the earliest item.  Undefined on an empty queue
+    (reads a stale slot); guard with {!is_empty}. *)
+
+val pop_item : 'a t -> 'a
+(** Removes and returns the earliest item without its timestamp (read
+    {!top_time} first).  Undefined on an empty queue. *)
+
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest item, without removing it. *)
 

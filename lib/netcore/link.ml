@@ -66,11 +66,12 @@ let send t ~engine ~from ~deliver =
       (Printf.sprintf "Link.send: node %d is not an endpoint of (%d,%d)" from
          t.a t.b);
   let dst = if from = t.a then t.b else t.a in
-  let dropped ~time reason =
-    Obs.Bus.msg_dropped t.obs ~time ~a:from ~b:dst ~reason
-  in
+  (* no shared [dropped ~reason] closure: sends vastly outnumber drops,
+     and the hot path should not allocate for the cold one *)
   if not t.up then begin
-    dropped ~time:(Dessim.Engine.now engine) "down";
+    Obs.Bus.msg_dropped t.obs
+      ~time:(Dessim.Engine.now engine)
+      ~a:from ~b:dst ~reason:"down";
     false
   end
   else begin
@@ -79,7 +80,9 @@ let send t ~engine ~from ~deliver =
       if t.up then begin
         if t.epoch = sent_epoch then deliver ()
         else if t.epoch_guard then
-          dropped ~time:(Dessim.Engine.now engine) "stale-epoch"
+          Obs.Bus.msg_dropped t.obs
+            ~time:(Dessim.Engine.now engine)
+            ~a:from ~b:dst ~reason:"stale-epoch"
         else begin
           (* Fault-injection knob: the stale-epoch drop is disabled, so
              the message crosses a fail/recover boundary — exactly what
@@ -92,7 +95,10 @@ let send t ~engine ~from ~deliver =
           deliver ()
         end
       end
-      else dropped ~time:(Dessim.Engine.now engine) "down"
+      else
+        Obs.Bus.msg_dropped t.obs
+          ~time:(Dessim.Engine.now engine)
+          ~a:from ~b:dst ~reason:"down"
     in
     let copies =
       match t.chaos with
@@ -103,7 +109,10 @@ let send t ~engine ~from ~deliver =
           let duplicated = dup > 0. && Dessim.Rng.float rng 1. < dup in
           if lost then 0 else if duplicated then 2 else 1
     in
-    if copies = 0 then dropped ~time:(Dessim.Engine.now engine) "loss";
+    if copies = 0 then
+      Obs.Bus.msg_dropped t.obs
+        ~time:(Dessim.Engine.now engine)
+        ~a:from ~b:dst ~reason:"loss";
     for _ = 1 to copies do
       let (_ : Dessim.Engine.handle) =
         Dessim.Engine.schedule_after ~tag:"link-deliver" engine ~delay:t.delay

@@ -19,6 +19,7 @@ type t = {
   mutable link_flaps : int;
   mutable loops_detected : int;
   mutable events_executed : int;
+  mutable paths_interned : int;
 }
 
 let create () =
@@ -35,6 +36,7 @@ let create () =
     link_flaps = 0;
     loops_detected = 0;
     events_executed = 0;
+    paths_interned = 0;
   }
 
 let node t i =
@@ -87,6 +89,9 @@ let incr_loop t = t.loops_detected <- t.loops_detected + 1
 let incr_events t = t.events_executed <- t.events_executed + 1
 let add_events t n = t.events_executed <- t.events_executed + n
 
+let observe_paths_interned t ~count =
+  if count > t.paths_interned then t.paths_interned <- count
+
 let observe_queue_depth t ~node:i ~depth =
   if i >= 0 then (
     let pn = node t i in
@@ -104,6 +109,7 @@ type snapshot = {
   s_link_flaps : int;
   s_loops_detected : int;
   s_events_executed : int;
+  s_paths_interned : int;  (* gauge: max arena occupancy, not a sum *)
   s_nodes : (int * per_node) list;  (* sorted by node id; values copied *)
 }
 
@@ -125,6 +131,7 @@ let snapshot t =
     s_link_flaps = t.link_flaps;
     s_loops_detected = t.loops_detected;
     s_events_executed = t.events_executed;
+    s_paths_interned = t.paths_interned;
     s_nodes = nodes;
   }
 
@@ -158,6 +165,7 @@ let merge a b =
     s_link_flaps = a.s_link_flaps + b.s_link_flaps;
     s_loops_detected = a.s_loops_detected + b.s_loops_detected;
     s_events_executed = a.s_events_executed + b.s_events_executed;
+    s_paths_interned = max a.s_paths_interned b.s_paths_interned;
     s_nodes = nodes;
   }
 
@@ -173,6 +181,7 @@ let le a b =
   && a.s_link_flaps <= b.s_link_flaps
   && a.s_loops_detected <= b.s_loops_detected
   && a.s_events_executed <= b.s_events_executed
+  && a.s_paths_interned <= b.s_paths_interned
 
 let pp ppf s =
   let f fmt = Format.fprintf ppf fmt in
@@ -185,6 +194,8 @@ let pp ppf s =
   f "  mrai fires %d   link flaps %d   loops detected %d@\n" s.s_mrai_fires
     s.s_link_flaps s.s_loops_detected;
   f "  engine events executed %d@\n" s.s_events_executed;
+  if s.s_paths_interned > 0 then
+    f "  paths interned %d@\n" s.s_paths_interned;
   if s.s_nodes <> [] then begin
     f "  per-node (id: sent/recv/decisions/fib/qdepth-hwm):@\n";
     List.iter

@@ -30,6 +30,10 @@ val add_events : t -> int -> unit
 val observe_queue_depth : t -> node:int -> depth:int -> unit
 (** Gauge: records the high-water mark of a node's processing queue. *)
 
+val observe_paths_interned : t -> count:int -> unit
+(** Gauge: records the high-water mark of a simulation's AS-path arena
+    occupancy ({!Bgp.As_path.Table.size} at end of run). *)
+
 type snapshot = {
   s_updates_sent : int;
   s_updates_recv : int;
@@ -42,6 +46,7 @@ type snapshot = {
   s_link_flaps : int;
   s_loops_detected : int;
   s_events_executed : int;
+  s_paths_interned : int;
   s_nodes : (int * per_node) list;
 }
 

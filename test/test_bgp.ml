@@ -65,6 +65,71 @@ let test_path_compare_lex_ignores_length () =
   Alcotest.(check bool) "compare prefers shorter" true
     (Bgp.As_path.compare short long < 0)
 
+let test_path_rejects_duplicate_heavy_lists () =
+  (* the duplicate scan runs on the materialized array (no per-element
+     Hashtbl); make sure it still catches repeats at every position *)
+  let raises l =
+    try
+      ignore (path l);
+      false
+    with Invalid_argument m -> String.length m > 0
+  in
+  Alcotest.(check bool) "adjacent head" true (raises [ 7; 7; 1; 2 ]);
+  Alcotest.(check bool) "far apart" true (raises [ 7; 1; 2; 3; 4; 5; 7 ]);
+  Alcotest.(check bool) "tail pair" true (raises [ 1; 2; 3; 9; 9 ]);
+  Alcotest.(check bool) "all same" true (raises [ 4; 4; 4; 4; 4; 4 ]);
+  Alcotest.(check bool) "duplicate-free long path ok" false
+    (raises [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ])
+
+let test_arena_interning_is_physical () =
+  let table = Bgp.As_path.Table.create () in
+  let p = Bgp.As_path.of_list ~table [ 5; 4; 0 ] in
+  let q = Bgp.As_path.of_list ~table [ 5; 4; 0 ] in
+  Alcotest.(check bool) "same handle" true (p == q);
+  (* the extend memo must return the interned child, not a fresh one *)
+  let base = Bgp.As_path.of_list ~table [ 4; 0 ] in
+  let a = Bgp.As_path.extend ~table 5 base in
+  let b = Bgp.As_path.extend ~table 5 base in
+  Alcotest.(check bool) "memoized extend, same handle" true (a == b && a == p)
+
+let test_arena_cross_arena_equal () =
+  let t1 = Bgp.As_path.Table.create () in
+  let t2 = Bgp.As_path.Table.create () in
+  let p = Bgp.As_path.of_list ~table:t1 [ 5; 4; 0 ] in
+  let q = Bgp.As_path.of_list ~table:t2 [ 5; 4; 0 ] in
+  let r = Bgp.As_path.of_list ~table:t2 [ 5; 4; 1 ] in
+  Alcotest.(check bool) "distinct handles" true (not (p == q));
+  Alcotest.(check bool) "structurally equal" true (Bgp.As_path.equal p q);
+  Alcotest.(check bool) "structurally distinct" false (Bgp.As_path.equal p r);
+  Alcotest.(check int) "hash is arena-independent" (Bgp.As_path.hash p)
+    (Bgp.As_path.hash q)
+
+let test_arena_id_stability () =
+  Alcotest.(check int) "empty has id 0" 0 (Bgp.As_path.id Bgp.As_path.empty);
+  let table = Bgp.As_path.Table.create () in
+  Alcotest.(check int) "empty in any arena" 0
+    (Bgp.As_path.id (Bgp.As_path.of_list ~table []));
+  let p1 = Bgp.As_path.of_list ~table [ 1; 0 ] in
+  let p2 = Bgp.As_path.of_list ~table [ 2; 0 ] in
+  Alcotest.(check int) "first interned path" 1 (Bgp.As_path.id p1);
+  Alcotest.(check int) "second interned path" 2 (Bgp.As_path.id p2);
+  Alcotest.(check int) "re-interning keeps the id" 1
+    (Bgp.As_path.id (Bgp.As_path.of_list ~table [ 1; 0 ]))
+
+let test_arena_size_and_words () =
+  let table = Bgp.As_path.Table.create () in
+  Alcotest.(check int) "fresh arena empty" 0 (Bgp.As_path.Table.size table);
+  Alcotest.(check int) "fresh arena holds no words" 0
+    (Bgp.As_path.Table.words table);
+  ignore (Bgp.As_path.of_list ~table [ 1; 0 ]);
+  ignore (Bgp.As_path.of_list ~table [ 2; 0 ]);
+  ignore (Bgp.As_path.of_list ~table [ 1; 0 ]);
+  ignore (Bgp.As_path.of_list ~table []);
+  Alcotest.(check int) "two distinct non-empty paths" 2
+    (Bgp.As_path.Table.size table);
+  Alcotest.(check bool) "words gauge grew" true
+    (Bgp.As_path.Table.words table > 0)
+
 let test_msg_pp_renders () =
   let prefix = Bgp.Prefix.make ~origin:0 () in
   Alcotest.(check string) "announce" "announce p0 (5 4 0)"
@@ -403,6 +468,12 @@ let () =
           tc "compare prefers shorter" test_path_compare_prefers_shorter;
           tc "compare ties lexicographically" test_path_compare_ties_lexicographic;
           tc "compare_lex ignores length" test_path_compare_lex_ignores_length;
+          tc "rejects duplicate-heavy lists"
+            test_path_rejects_duplicate_heavy_lists;
+          tc "interning is physical" test_arena_interning_is_physical;
+          tc "cross-arena equality" test_arena_cross_arena_equal;
+          tc "id stability" test_arena_id_stability;
+          tc "table size and words" test_arena_size_and_words;
           tc "message rendering" test_msg_pp_renders;
         ] );
       ("prefix", [ tc "basics" test_prefix ]);
