@@ -884,6 +884,102 @@ let scale_group ~pool ~smoke () =
       if smoke then exit 1);
   List.fold_left (fun acc r -> acc + r.sc_events) 0 rows
 
+(* --- sustained churn: long-horizon service-mode throughput ---
+
+   One persistent simulation driven through flap epochs by the churn
+   engine (streaming loop detection, arena compaction every 8 epochs,
+   no digesting, no checkpoints).  The full group runs to 10 M engine
+   events and gates two regressions: throughput must stay at or above
+   the one-shot scale workload's recorded floor (BENCH_e3527b6:
+   446 k ev/s), and the peak heap must stay flat across the horizon —
+   bounded-memory operation is the point of the service mode. *)
+
+let churn_floor_ev_s = 446_000.
+
+let churn_group ~smoke () =
+  let n = 110 in
+  let graph = Topo.Internet.generate ~seed:1 n in
+  let origin = List.hd (Topo.Graph.min_degree_nodes graph) in
+  let target_events = if smoke then 200_000 else 10_000_000 in
+  let workload = Churn.Workload.make ~epoch_len:300. ~flap_rate:8. () in
+  let cfg =
+    Churn.Driver.make ~seed:1 ~workload ~epochs:max_int ~target_events
+      ~compact_every:8 ~digest:false ~graph ~origin ()
+  in
+  say "=== Churn: sustained service mode on internet-%d (target %d events) ===@."
+    n target_events;
+  (* peak-heap sample once the run is warm (10 % of the horizon, past
+     GC ramp-up); the flat-heap gate compares the end-of-run peak
+     against it *)
+  let heap_early = ref None in
+  let events_seen = ref 0 in
+  let on_epoch (e : Churn.Driver.epoch_info) =
+    events_seen := !events_seen + e.Churn.Driver.ei_events;
+    if !heap_early = None && !events_seen >= target_events / 10 then
+      heap_early := Some (Gc.quick_stat ()).Gc.top_heap_words
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Churn.Driver.run ~on_epoch cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  let heap_final = (Gc.quick_stat ()).Gc.top_heap_words in
+  let ev_s =
+    if wall > 0. then float_of_int r.Churn.Driver.events_executed /. wall
+    else 0.
+  in
+  let t = r.Churn.Driver.loop_totals in
+  print_string
+    (Report.table
+       ~title:(if smoke then "churn smoke" else "churn: 10M-event horizon")
+       ~header:
+         [
+           "epochs"; "events"; "wall(s)"; "ev/s"; "fib-chg"; "loops";
+           "arena"; "arena-peak"; "heap-Mw";
+         ]
+       ~rows:
+         [
+           [
+             string_of_int r.Churn.Driver.epochs_completed;
+             string_of_int r.Churn.Driver.events_executed;
+             Printf.sprintf "%.3f" wall;
+             Printf.sprintf "%.0f" ev_s;
+             string_of_int r.Churn.Driver.counters.Obs.Counters.s_fib_changes;
+             string_of_int t.Loopscan.Stream.loops_started;
+             string_of_int r.Churn.Driver.arena_size;
+             string_of_int r.Churn.Driver.arena_peak;
+             Printf.sprintf "%.1f" (float_of_int heap_final /. 1e6);
+           ];
+         ]);
+  say "";
+  (match r.Churn.Driver.status with
+  | Churn.Driver.Completed -> ()
+  | s ->
+      say "churn did not complete: %s" (Churn.Driver.status_name s);
+      exit 1);
+  if not smoke then begin
+    (match !heap_early with
+    | Some early when heap_final > early + (early / 2) ->
+        say
+          "FLAT-HEAP GATE FAILED: peak heap grew %.1f Mw (10%% mark) -> %.1f \
+           Mw (end)"
+          (float_of_int early /. 1e6)
+          (float_of_int heap_final /. 1e6);
+        exit 1
+    | Some early ->
+        say "flat-heap gate: %.1f Mw (10%% mark) -> %.1f Mw (end)  OK"
+          (float_of_int early /. 1e6)
+          (float_of_int heap_final /. 1e6)
+    | None -> say "flat-heap gate: run too short to sample (skipped)");
+    if ev_s < churn_floor_ev_s then begin
+      say "THROUGHPUT GATE FAILED: %.0f ev/s < %.0f ev/s floor" ev_s
+        churn_floor_ev_s;
+      exit 1
+    end
+    else say "throughput gate: %.0f ev/s >= %.0f ev/s floor  OK" ev_s
+           churn_floor_ev_s
+  end;
+  say "";
+  r.Churn.Driver.events_executed
+
 (* --- observability counter registries (DESIGN.md §10) --- *)
 
 let counters_group ~pool =
@@ -1074,6 +1170,8 @@ let groups =
     ("counters", fun ~pool -> counters_group ~pool);
     ("scale", fun ~pool -> scale_group ~pool ~smoke:false ());
     ("scale-smoke", fun ~pool -> scale_group ~pool ~smoke:true ());
+    ("churn", fun ~pool:_ -> churn_group ~smoke:false ());
+    ("churn-smoke", fun ~pool:_ -> churn_group ~smoke:true ());
     ("micro", fun ~pool:_ -> micro (); 0);
   ]
 

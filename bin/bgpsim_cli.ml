@@ -751,6 +751,206 @@ let sweep_cmd =
           --preset scale runs the large-topology throughput workload")
     term
 
+(* --- churn --- *)
+
+let churn_cmd =
+  let epochs_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "epochs" ] ~docv:"N"
+          ~doc:
+            "Total completed epochs to reach.  Absolute, so a resumed run \
+             continues toward the same horizon.")
+  in
+  let epoch_len_arg =
+    Arg.(
+      value & opt float 300.
+      & info [ "epoch-len" ] ~docv:"SECONDS"
+          ~doc:"Virtual seconds each epoch's churn events are spread over.")
+  in
+  let flap_rate_arg =
+    Arg.(
+      value & opt float 4.
+      & info [ "flap-rate" ] ~docv:"RATE"
+          ~doc:
+            "Mean churn events per epoch (Poisson): link flaps, session \
+             resets and origin prefix flaps.")
+  in
+  let checkpoint_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write boundary checkpoints into $(docv) (created if absent); \
+             required by --resume.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "checkpoint-every" ] ~docv:"EPOCHS"
+          ~doc:"Epochs between checkpoints (one is always written at the end).")
+  in
+  let compact_every_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "compact-every" ] ~docv:"EPOCHS"
+          ~doc:
+            "Epochs between path-arena compactions (live handles re-interned \
+             into a fresh arena).")
+  in
+  let resume_flag =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the latest checkpoint in --checkpoint-dir; the \
+             resumed run reproduces the uninterrupted one bit-identically \
+             (same chain digest).")
+  in
+  let max_wall_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-wall-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget; on expiry the run degrades gracefully \
+             (flushes, reports the last checkpoint) and exits with status \
+             wall-expired.")
+  in
+  let target_events_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:
+            "Stop (completed) at the first epoch boundary with at least \
+             $(docv) cumulative engine events.")
+  in
+  let stall_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stall-epochs" ] ~docv:"N"
+          ~doc:
+            "Report a structured stall (and stop) after $(docv) consecutive \
+             epochs without a single FIB change.")
+  in
+  let kill_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after-epoch" ] ~docv:"EPOCH"
+          ~doc:
+            "Stop right after the boundary checkpoint of epoch $(docv) — the \
+             deterministic mid-flight kill the resume tests and CI use.")
+  in
+  let no_digest_flag =
+    Arg.(
+      value & flag
+      & info [ "no-digest" ]
+          ~doc:
+            "Skip per-epoch trace digesting (throughput benchmarking; the \
+             final chain digest is then unavailable).")
+  in
+  let quiet_flag =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-epoch lines.")
+  in
+  let action topology epochs epoch_len flap_rate seed mrai enhancement
+      checkpoint_dir checkpoint_every compact_every resume max_wall_s
+      target_events stall_epochs kill_after_epoch no_digest quiet =
+    let graph, origin, _ =
+      Bgpsim.Experiment.resolve_raw
+        { (Bgpsim.Experiment.default_spec topology) with seed }
+    in
+    let bgp = Bgp.Config.of_enhancement ~mrai enhancement in
+    let workload = Churn.Workload.make ~epoch_len ~flap_rate () in
+    (match checkpoint_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | Some _ | None -> ());
+    let resume_from =
+      if not resume then None
+      else
+        match checkpoint_dir with
+        | None ->
+            prerr_endline "churn: --resume requires --checkpoint-dir";
+            exit 2
+        | Some dir -> (
+            match Churn.Checkpoint.latest ~dir with
+            | Some (epoch, path) ->
+                Printf.printf "resuming from %s (epoch %d)\n%!" path epoch;
+                Some path
+            | None ->
+                Printf.eprintf "churn: no checkpoint found in %s\n" dir;
+                exit 2)
+    in
+    let cfg =
+      Churn.Driver.make ~seed ~bgp ~workload ~epochs ?target_events
+        ?checkpoint_dir ~checkpoint_every ~compact_every
+        ~digest:(not no_digest) ?stall_epochs ?kill_after_epoch ~graph ~origin
+        ()
+    in
+    let watchdog = Faults.Watchdog.create ?max_wall_s () in
+    Printf.printf
+      "churn %s  origin=%d  epochs=%d  epoch-len=%gs  flap-rate=%g  \
+       enhancement=%s  mrai=%gs  seed=%d\n\
+       %!"
+      (Bgpsim.Experiment.topology_name topology)
+      origin epochs epoch_len flap_rate
+      (Bgp.Enhancement.name enhancement)
+      mrai seed;
+    let on_epoch (e : Churn.Driver.epoch_info) =
+      if not quiet then
+        Printf.printf
+          "epoch %4d  vtime %12.1f  events %9d  fib %6d  loops %3d  arena \
+           %6d%s%s\n\
+           %!"
+          e.ei_epoch e.ei_vtime e.ei_events e.ei_fib_changes e.ei_live_loops
+          e.ei_arena_size
+          (if e.ei_compacted then "  compacted" else "")
+          (match e.ei_checkpoint with
+          | Some p -> "  ckpt " ^ Filename.basename p
+          | None -> "")
+    in
+    let r = Churn.Driver.run ~watchdog ~on_epoch ?resume_from cfg in
+    let t = r.loop_totals in
+    Printf.printf "status %s\n" (Churn.Driver.status_name r.status);
+    Printf.printf "epochs %d  events %d  vtime %.1f\n" r.epochs_completed
+      r.events_executed r.vtime;
+    Printf.printf
+      "loops: started %d  resolved %d  live %d  max-concurrent %d  mean-size \
+       %.2f  loop-seconds %.3f\n"
+      t.loops_started t.loops_resolved t.live_now t.max_concurrent t.mean_size
+      t.total_loop_seconds;
+    Printf.printf "arena: size %d  peak %d  words %d\n" r.arena_size
+      r.arena_peak r.arena_words;
+    Printf.printf "chain-digest %s\n"
+      (match r.chain_digest with Some d -> d | None -> "-");
+    (match r.last_checkpoint with
+    | Some p -> Printf.printf "last-checkpoint %s\n" p
+    | None -> ());
+    match r.status with
+    | Churn.Driver.Completed | Churn.Driver.Killed _ -> ()
+    | Churn.Driver.Stalled _ -> exit 3
+    | Churn.Driver.Wall_expired -> exit 4
+    | Churn.Driver.Event_limit -> exit 5
+  in
+  let term =
+    Term.(
+      const action $ topology_arg $ epochs_arg $ epoch_len_arg $ flap_rate_arg
+      $ seed_arg $ mrai_arg $ enhancement_arg $ checkpoint_dir_arg
+      $ checkpoint_every_arg $ compact_every_arg $ resume_flag $ max_wall_arg
+      $ target_events_arg $ stall_arg $ kill_arg $ no_digest_flag $ quiet_flag)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Sustained-churn service mode: drive one persistent simulation \
+          through a long horizon of flap epochs with streaming loop \
+          detection, bounded memory (arena compaction), checkpoint/resume \
+          and wall-clock watchdog")
+    term
+
 (* --- topo --- *)
 
 let topo_cmd =
@@ -955,6 +1155,7 @@ let () =
             run_cmd;
             sweep_cmd;
             analyze_cmd;
+            churn_cmd;
             topo_cmd;
             trace_cmd;
             figures_cmd;

@@ -173,6 +173,14 @@ let extend ~table v t =
 
 let prepend ?table v t = extend ~table:(the_table table) v t
 
+let reintern ~table t =
+  if Array.length t.arr = 0 then empty
+  else if t.arena = table.Table.uid then t
+  else
+    (* intern requires an unaliased array: the source handle keeps
+       owning [t.arr] *)
+    Table.intern table (Array.copy t.arr)
+
 let suffix_from ?table t u =
   if t.mask land mask_bit u = 0 then None
   else

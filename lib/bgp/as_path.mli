@@ -81,6 +81,14 @@ val extend : table:Table.t -> int -> t -> t
     per-recompute announcement path costs one small hash lookup after
     the first decision that produced it. *)
 
+val reintern : table:Table.t -> t -> t
+(** The same path as a handle of [table]: returned unchanged when it
+    already belongs to [table] (or is {!empty}), interned otherwise.
+    This is the epoch-compaction primitive — live handles from a
+    retiring arena are re-interned into a fresh one, and {!hash} /
+    membership signatures carry over unchanged because both are
+    arena-independent. *)
+
 val suffix_from : ?table:Table.t -> t -> int -> t option
 (** [suffix_from p u] is the sub-path of [p] starting at [u] (inclusive),
     or [None] when [u] does not appear in [p].  This is the sub-path the

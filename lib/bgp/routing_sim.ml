@@ -6,7 +6,7 @@ type event =
   | Tshort of { a : int; b : int; down_for : float }
   | Scenario of Faults.Scenario.t
 
-type termination = Drained | Event_budget | Vtime_budget
+type termination = Drained | Event_budget | Vtime_budget | Wall_budget
 
 type outcome = {
   trace : Netcore.Trace.t;
@@ -30,6 +30,7 @@ let termination_name = function
   | Drained -> "drained"
   | Event_budget -> "event-budget"
   | Vtime_budget -> "vtime-budget"
+  | Wall_budget -> "wall-budget"
 
 (* Quiet gap between warm-up quiescence and failure injection; any value
    works since the warmed-up network is silent (all MRAI timers idle
@@ -40,7 +41,7 @@ let link_key a b = if a < b then (a, b) else (b, a)
 
 let run ?(params = Netcore.Params.default) ?(config = Config.default)
     ?(max_events = 20_000_000) ?max_vtime ?(invariants = Faults.Invariant.Off)
-    ?(obs = Obs.Bus.off) ?profile ~graph ~origin ~event ~seed () =
+    ?(obs = Obs.Bus.off) ?profile ?watchdog ~graph ~origin ~event ~seed () =
   Netcore.Params.validate params;
   Config.validate config;
   let n = Topo.Graph.n_nodes graph in
@@ -229,6 +230,35 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
     | Faults.Scenario.Node_restart v -> do_node_restart v
     | Faults.Scenario.Session_reset (a, b) -> do_session_reset a b
   in
+  (* With a watchdog, the engine runs in bounded chunks so wall-clock
+     expiry is noticed at event granularity; event execution itself is
+     identical to one uninterrupted run.  [wall_cut] records that a
+     phase was abandoned on expiry. *)
+  let wall_cut = ref false in
+  let run_engine () =
+    match watchdog with
+    | None -> Dessim.Engine.run ?until:max_vtime ~max_events engine
+    | Some wd ->
+        let chunk = 65_536 in
+        let continue_ = ref true in
+        while !continue_ do
+          if Faults.Watchdog.expired wd then begin
+            wall_cut := true;
+            continue_ := false
+          end
+          else begin
+            let budget =
+              Stdlib.min max_events
+                (Dessim.Engine.events_executed engine + chunk)
+            in
+            Dessim.Engine.run ?until:max_vtime ~max_events:budget engine;
+            if
+              Dessim.Engine.events_executed engine < budget
+              || Dessim.Engine.events_executed engine >= max_events
+            then continue_ := false
+          end
+        done
+  in
   (* Phase 1: warm-up convergence.  Inverse events warm up without
      the element they will add: Tup never originates here, Trecover
      starts with its link (and both sessions over it) down. *)
@@ -246,7 +276,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
             Speaker.originate (speaker origin) prefix)
       in
       ());
-  Dessim.Engine.run ?until:max_vtime ~max_events engine;
+  run_engine ();
   let warmup_end = Dessim.Engine.now engine in
   let warmup_drained = Dessim.Engine.events_executed engine < max_events in
   (* Phase 2: failure injection. *)
@@ -286,14 +316,16 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
         (fun { Faults.Scenario.at; action } ->
           schedule_at (t_fail +. at) (fun () -> apply_action action))
         (Faults.Scenario.compile scenario ~graph ~rng:scenario_rng));
-  Dessim.Engine.run ?until:max_vtime ~max_events engine;
+  run_engine ();
   (match Obs.Bus.counters obs with
   | Some c ->
       Obs.Counters.add_events c (Dessim.Engine.events_executed engine);
       Obs.Counters.observe_paths_interned c ~count:(As_path.Table.size paths)
   | None -> ());
   let termination =
-    if Dessim.Engine.events_executed engine >= max_events then Event_budget
+    if !wall_cut then Wall_budget
+    else if Dessim.Engine.events_executed engine >= max_events then
+      Event_budget
     else
       match Dessim.Engine.next_live_time engine with
       | Some _ -> Vtime_budget

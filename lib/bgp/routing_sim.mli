@@ -46,6 +46,9 @@ type termination =
   | Drained  (** the event queue emptied: the network converged *)
   | Event_budget  (** [max_events] fired first — a would-be hang *)
   | Vtime_budget  (** the next event lies beyond [max_vtime] *)
+  | Wall_budget
+      (** the run's wall-clock watchdog expired mid-phase; the engine
+          stopped at an event boundary *)
 
 val termination_name : termination -> string
 
@@ -83,6 +86,7 @@ val run :
   ?invariants:Faults.Invariant.mode ->
   ?obs:Obs.Bus.t ->
   ?profile:Obs.Profile.t ->
+  ?watchdog:Faults.Watchdog.t ->
   graph:Topo.Graph.t ->
   origin:int ->
   event:event ->
@@ -107,6 +111,11 @@ val run :
     occupancy, drops) and counter bumps.  [profile], when given, is fed
     per-event-tag wall/virtual-time samples via the engine's step
     profiler.
+
+    [watchdog], when given, bounds the run in wall-clock time: the
+    engine runs in chunks and stops with [Wall_budget] at the first
+    event boundary past expiry.  Event execution is otherwise
+    identical to an unwatched run (same trace, same outcome).
     @raise Invalid_argument if [origin] is out of range, the graph is
     not connected, an event link does not exist, or a scenario fails
     validation. *)

@@ -23,7 +23,7 @@ type t = {
   rng : Dessim.Rng.t;
   checker : Faults.Invariant.t;
   obs : Obs.Bus.t;
-  paths : As_path.Table.t;
+  mutable paths : As_path.Table.t;
   live_peers : Peer_table.t;
   mutable alive : bool;
   emit : peer:int -> Msg.t -> unit;
@@ -486,3 +486,151 @@ let suppressed_peers t prefix =
         (fun peer _ acc -> if peer_suppressed t st peer then peer :: acc else acc)
         st.damp []
       |> List.sort compare
+
+(* --- quiescence, arena compaction, checkpointing --- *)
+
+let quiescent t =
+  Hashtbl.fold
+    (fun _prefix st acc ->
+      acc
+      && st.reuse_timer = None
+      && Hashtbl.fold
+           (fun _peer out acc ->
+             acc
+             && (not (Mrai.timer_running out.mrai))
+             && Mrai.pending_count out.mrai = 0)
+           st.outs true)
+    t.dests true
+
+(* [remap_paths] swaps every live path handle for [f handle]; the
+   typical [f] is [As_path.reintern ~table:fresh].  Behavior is
+   preserved because [f] returns a structurally equal path and
+   [As_path.equal] falls back to structural comparison across arenas.
+   Only safe at quiescence: MRAI queues and in-flight engine events
+   may hold handles this walk cannot reach. *)
+let remap_paths t ~f =
+  Hashtbl.iter
+    (fun _prefix st ->
+      let entries =
+        Hashtbl.fold (fun peer path acc -> (peer, path) :: acc) st.rib_in []
+      in
+      (* stdlib [replace] updates the bucket cell in place, so table
+         structure (and hence iteration order) is untouched *)
+      List.iter
+        (fun (peer, path) -> Hashtbl.replace st.rib_in peer (f path))
+        entries;
+      (match st.best with
+      | Some b -> st.best <- Some { b with path = f b.path }
+      | None -> ());
+      Hashtbl.iter
+        (fun _peer out ->
+          match !(out.advertised) with
+          | Some p -> out.advertised := Some (f p)
+          | None -> ())
+        st.outs)
+    t.dests
+
+let set_path_table t table = t.paths <- table
+
+let path_table t = t.paths
+
+(* Snapshots are plain data: paths flattened to AS arrays (re-interned
+   on restore), hashtables to arrays in canonical order.  Only
+   meaningful at quiescence — MRAI timers, pending messages and
+   damping state are deliberately unrepresentable. *)
+
+type dest_snapshot = {
+  sn_prefix : Prefix.t;
+  sn_local : bool;
+  sn_rib_in : (int * int array) array;  (* by peer, ascending *)
+  sn_best : (int option * int array) option;
+  sn_advertised : (int * int array) array;
+      (* peers holding a route from us, ascending; peers holding
+         nothing are omitted (a fresh out-state is equivalent) *)
+}
+
+type snapshot = {
+  sn_node : int;
+  sn_alive : bool;
+  sn_peers : int array;
+  sn_route_changes : int;
+  sn_dests : dest_snapshot array;  (* by prefix *)
+}
+
+let snapshot t =
+  if not (quiescent t) then
+    invalid_arg "Speaker.snapshot: speaker is not quiescent";
+  if t.config.damping <> None then
+    invalid_arg "Speaker.snapshot: damping state is not snapshotable";
+  let arr_of_path p = Array.of_list (As_path.to_list p) in
+  let dests =
+    Hashtbl.fold
+      (fun prefix st acc ->
+        let rib =
+          Hashtbl.fold
+            (fun peer path acc -> (peer, arr_of_path path) :: acc)
+            st.rib_in []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        let advertised =
+          Hashtbl.fold
+            (fun peer out acc ->
+              match !(out.advertised) with
+              | Some p -> (peer, arr_of_path p) :: acc
+              | None -> acc)
+            st.outs []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        {
+          sn_prefix = prefix;
+          sn_local = st.local;
+          sn_rib_in = Array.of_list rib;
+          sn_best =
+            Option.map
+              (fun b -> (b.learned_from, arr_of_path b.path))
+              st.best;
+          sn_advertised = Array.of_list advertised;
+        }
+        :: acc)
+      t.dests []
+    |> List.sort (fun a b -> compare a.sn_prefix b.sn_prefix)
+  in
+  {
+    sn_node = t.node;
+    sn_alive = t.alive;
+    sn_peers = Array.of_list (Peer_table.to_list t.live_peers);
+    sn_route_changes = t.route_changes;
+    sn_dests = Array.of_list dests;
+  }
+
+(* Restore writes protocol state directly into a freshly created
+   speaker: no decision process runs, nothing is emitted, and
+   [on_next_hop_change] does not fire (the caller re-seeds its FIB
+   view from the same checkpoint). *)
+let restore t (s : snapshot) =
+  if t.node <> s.sn_node then invalid_arg "Speaker.restore: node mismatch";
+  if Hashtbl.length t.dests <> 0 then
+    invalid_arg "Speaker.restore: speaker already has state";
+  t.alive <- s.sn_alive;
+  t.route_changes <- s.sn_route_changes;
+  Peer_table.clear t.live_peers;
+  Array.iter (fun p -> Peer_table.add t.live_peers p) s.sn_peers;
+  let path_of_arr arr = As_path.of_list ~table:t.paths (Array.to_list arr) in
+  Array.iter
+    (fun d ->
+      let st = dest_state t d.sn_prefix in
+      st.local <- d.sn_local;
+      Array.iter
+        (fun (peer, arr) -> Hashtbl.replace st.rib_in peer (path_of_arr arr))
+        d.sn_rib_in;
+      st.best <-
+        Option.map
+          (fun (learned_from, arr) ->
+            { learned_from; path = path_of_arr arr })
+          d.sn_best;
+      Array.iter
+        (fun (peer, arr) ->
+          let out = out_state t st peer in
+          out.advertised := Some (path_of_arr arr))
+        d.sn_advertised)
+    s.sn_dests

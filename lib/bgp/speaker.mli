@@ -118,3 +118,61 @@ val route_change_count : t -> int
 val suppressed_peers : t -> Prefix.t -> int list
 (** Peers whose route for [prefix] is currently suppressed by
     route-flap damping, ascending; always [[]] when damping is off. *)
+
+(** {2 Quiescence, arena compaction and checkpointing}
+
+    Long-horizon (churn) runs snapshot speakers at epoch boundaries and
+    swap their path arena for a freshly compacted one.  All three
+    operations below are only meaningful at {!quiescent} points. *)
+
+val quiescent : t -> bool
+(** [true] when the speaker holds no timed state: no MRAI timer
+    running, no pending rate-limited message, no damping reuse timer.
+    At such a point the speaker's behavior is fully determined by its
+    RIBs, so it can be snapshotted or have its arena swapped. *)
+
+val remap_paths : t -> f:(As_path.t -> As_path.t) -> unit
+(** Replace every live path handle (Adj-RIB-In entries, the Loc-RIB
+    best, Adj-RIB-Out advertised paths) with [f handle].  [f] must
+    return a structurally equal path — e.g. {!As_path.reintern} into a
+    fresh arena.  Only safe at quiescence: pending messages and
+    scheduled events may hold handles this walk cannot reach. *)
+
+val set_path_table : t -> As_path.Table.t -> unit
+(** Swap the arena new announcement paths are interned into; call
+    after {!remap_paths} into the same table. *)
+
+val path_table : t -> As_path.Table.t
+
+(** Marshal-safe snapshot of a quiescent speaker's protocol state:
+    paths are flattened to AS arrays and re-interned on restore,
+    hashtables serialized in canonical (sorted) order.  Peers holding
+    no route from us are omitted from [sn_advertised]: a fresh
+    out-state is behaviorally identical. *)
+type dest_snapshot = {
+  sn_prefix : Prefix.t;
+  sn_local : bool;
+  sn_rib_in : (int * int array) array;
+  sn_best : (int option * int array) option;
+  sn_advertised : (int * int array) array;
+}
+
+type snapshot = {
+  sn_node : int;
+  sn_alive : bool;
+  sn_peers : int array;
+  sn_route_changes : int;
+  sn_dests : dest_snapshot array;
+}
+
+val snapshot : t -> snapshot
+(** @raise Invalid_argument if the speaker is not {!quiescent} or has
+    route-flap damping configured (damping state is not
+    snapshotable). *)
+
+val restore : t -> snapshot -> unit
+(** Write [snapshot] into a freshly created, empty speaker (same node
+    id, same config).  No decision process runs, nothing is emitted
+    and [on_next_hop_change] does not fire — the caller re-seeds its
+    FIB view from the same checkpoint.  @raise Invalid_argument on a
+    node mismatch or a non-empty speaker. *)

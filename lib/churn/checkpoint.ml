@@ -1,0 +1,97 @@
+(* Versioned churn checkpoints.
+
+   A checkpoint is only ever taken at a drained epoch boundary: the
+   engine queue is empty, every MRAI timer is idle and no message is
+   in flight, so the whole simulation state reduces to plain data —
+   speaker snapshots, the FIB mirror, the streaming scanner, the RNG
+   streams and the down-link set.  The file is a fixed ASCII header
+   (so a wrong file fails loudly, not with a marshal segfault)
+   followed by one marshalled record, written to a temp file and
+   renamed so a crash mid-write never corrupts the previous
+   checkpoint. *)
+
+type t = {
+  version : int;
+  fingerprint : string;
+  epoch : int;
+  vtime : float;
+  events : int;
+  chain : string;
+  idle_epochs : int;
+  links_down : (int * int) array;
+  speakers : Bgp.Speaker.snapshot array;
+  fib : int option array;
+  scan : Loopscan.Stream.t;
+  rng_proc : Dessim.Rng.t;
+  rng_workload : Dessim.Rng.t;
+  rng_speakers : Dessim.Rng.t array;
+  counters : Obs.Counters.snapshot;
+}
+
+let header = "bgpsim-churn-ckpt v1\n"
+let version = 1
+
+let file_name epoch = Printf.sprintf "ckpt-%06d.bin" epoch
+
+let path ~dir ~epoch = Filename.concat dir (file_name epoch)
+
+let write ~dir t =
+  if t.version <> version then invalid_arg "Checkpoint.write: bad version";
+  let final = path ~dir ~epoch:t.epoch in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc header;
+     Marshal.to_channel oc t [];
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp final;
+  final
+
+let read p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let h =
+        try really_input_string ic (String.length header)
+        with End_of_file ->
+          failwith (p ^ ": truncated churn checkpoint")
+      in
+      if h <> header then
+        failwith (p ^ ": not a " ^ String.trim header ^ " checkpoint");
+      let t : t = Marshal.from_channel ic in
+      if t.version <> version then
+        failwith
+          (Printf.sprintf "%s: checkpoint version %d, expected %d" p t.version
+             version);
+      t)
+
+(* epoch number encoded in a checkpoint file name, if it is one *)
+let epoch_of_name name =
+  let prefix = "ckpt-" and suffix = ".bin" in
+  let pl = String.length prefix and sl = String.length suffix in
+  let nl = String.length name in
+  if
+    nl > pl + sl
+    && String.sub name 0 pl = prefix
+    && String.sub name (nl - sl) sl = suffix
+  then int_of_string_opt (String.sub name pl (nl - pl - sl))
+  else None
+
+let latest ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match epoch_of_name name with
+           | Some e -> Some (e, Filename.concat dir name)
+           | None -> None)
+    |> List.fold_left
+         (fun acc (e, p) ->
+           match acc with
+           | Some (best, _) when best >= e -> acc
+           | _ -> Some (e, p))
+         None

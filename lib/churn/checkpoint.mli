@@ -1,0 +1,52 @@
+(** Versioned checkpoints of a sustained-churn run.
+
+    Checkpoints are taken only at drained epoch boundaries, where the
+    whole simulation state is plain data (no engine events, no MRAI
+    timers, no in-flight messages): speaker snapshots, the FIB mirror,
+    the streaming loop scanner, the RNG streams and the set of links
+    currently down.  Restoring one and continuing reproduces the
+    uninterrupted run bit-for-bit — the resume-equivalence tests
+    compare golden trace digests across a kill/resume.
+
+    On disk: the ASCII header ["bgpsim-churn-ckpt v1\n"] followed by
+    one [Marshal]ed {!t}.  Files are written atomically (temp +
+    rename), so an interrupted write never corrupts the previous
+    checkpoint. *)
+
+type t = {
+  version : int;  (** format version; this module reads/writes 1 *)
+  fingerprint : string;
+      (** digest of the run configuration (graph, seed, BGP config,
+          workload); resuming under a different configuration is
+          refused *)
+  epoch : int;  (** completed epochs at the boundary *)
+  vtime : float;  (** engine clock at the boundary *)
+  events : int;  (** cumulative engine events executed *)
+  chain : string;  (** rolling per-epoch trace digest chain (hex) *)
+  idle_epochs : int;  (** consecutive epochs without a FIB change *)
+  links_down : (int * int) array;  (** links down at the boundary *)
+  speakers : Bgp.Speaker.snapshot array;
+  fib : int option array;  (** next hop per node toward the prefix *)
+  scan : Loopscan.Stream.t;  (** streaming scanner state *)
+  rng_proc : Dessim.Rng.t;
+  rng_workload : Dessim.Rng.t;
+  rng_speakers : Dessim.Rng.t array;
+  counters : Obs.Counters.snapshot;
+      (** cumulative counters up to the boundary *)
+}
+
+val version : int
+
+val path : dir:string -> epoch:int -> string
+(** The canonical file name for a boundary checkpoint
+    ([ckpt-NNNNNN.bin] under [dir]). *)
+
+val write : dir:string -> t -> string
+(** Atomically writes the checkpoint into [dir] and returns its path.
+    @raise Sys_error on I/O failure. *)
+
+val read : string -> t
+(** @raise Failure on a missing/foreign header or version mismatch. *)
+
+val latest : dir:string -> (int * string) option
+(** The highest-epoch checkpoint in [dir], if any. *)

@@ -26,6 +26,7 @@ type spec = {
   invariants : Faults.Invariant.mode;
   max_events : int;
   max_vtime : float option;
+  max_wall_s : float option;
   preflight : Analysis.Preflight.mode;
 }
 
@@ -41,6 +42,7 @@ let default_spec topology =
     invariants = Faults.Invariant.Off;
     max_events = 20_000_000;
     max_vtime = None;
+    max_wall_s = None;
     preflight = Analysis.Preflight.Off;
   }
 
@@ -245,8 +247,18 @@ let empty_loops : Loopscan.Scanner.report =
     max_concurrent = 0;
   }
 
-let run ?obs ?profile spec =
+let run ?obs ?profile ?watchdog spec =
   let wall_start = Unix.gettimeofday () in
+  (* One watchdog covers the whole run — simulation AND the post-run
+     analysis passes, which previously had no budget at all (a wedged
+     replay could hang past every event/vtime limit).  Tests inject
+    [watchdog] with a fake clock; normal callers get one armed from
+    [spec.max_wall_s]. *)
+  let wd =
+    match watchdog with
+    | Some wd -> wd
+    | None -> Faults.Watchdog.create ?max_wall_s:spec.max_wall_s ()
+  in
   let graph, origin, event = resolve_raw spec in
   let config = Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement in
   let analysis =
@@ -267,13 +279,17 @@ let run ?obs ?profile spec =
   let outcome =
     Bgp.Routing_sim.run ~params:spec.params ~config
       ~max_events:spec.max_events ?max_vtime:spec.max_vtime
-      ~invariants:spec.invariants ?obs ?profile ~graph ~origin ~event
-      ~seed:spec.seed ()
+      ~invariants:spec.invariants ?obs ?profile ~watchdog:wd ~graph ~origin
+      ~event ~seed:spec.seed ()
   in
   let fib = Netcore.Trace.fib outcome.trace in
   let window_end = outcome.convergence_end +. spec.replay_tail in
+  (* Each analysis phase re-checks the watchdog before starting: a run
+     that exhausted its wall budget (or does so between phases) skips
+     straight to the fallback instead of piling analysis time on top. *)
   let tolerant f fallback =
-    if outcome.converged then f ()
+    if Faults.Watchdog.expired wd then fallback
+    else if outcome.converged then f ()
     else try f () with Invalid_argument _ -> fallback
   in
   let replay =
@@ -298,7 +314,8 @@ let run ?obs ?profile spec =
   in
   let bound_violations =
     match analysis with
-    | Some report when outcome.converged ->
+    | Some report when outcome.converged && not (Faults.Watchdog.expired wd)
+      ->
         Analysis.Bounds.check report.Analysis.Preflight.bounds
           ~convergence_time:(Bgp.Routing_sim.convergence_time outcome)
           ~updates_sent:outcome.updates_after_fail

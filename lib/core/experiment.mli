@@ -56,6 +56,11 @@ type spec = {
   max_events : int;  (** per-run event budget (hang protection) *)
   max_vtime : float option;
       (** per-run virtual-time budget; [None] = unbounded *)
+  max_wall_s : float option;
+      (** per-run wall-clock budget covering the simulation {e and}
+          the post-run analyses; [None] = unbounded.  An expired run
+          terminates with {!Bgp.Routing_sim.Wall_budget} and its
+          remaining analysis phases degrade to empty fallbacks. *)
   preflight : Analysis.Preflight.mode;
       (** static pre-flight analysis before the simulator starts:
           [Off] (default) skips it, [Warn] attaches the report to the
@@ -69,7 +74,7 @@ type spec = {
 val default_spec : topology -> spec
 (** [T_down], standard BGP, MRAI 30 s, seed 1, paper parameters,
     2 s replay tail, invariants off, 20 M event budget, no
-    virtual-time budget, pre-flight off. *)
+    virtual-time or wall-clock budget, pre-flight off. *)
 
 val topology_name : topology -> string
 
@@ -132,14 +137,26 @@ type run = {
           [] when the pre-flight was off or the run did not converge *)
 }
 
-val run : ?obs:Obs.Bus.t -> ?profile:Obs.Profile.t -> spec -> run
+val run :
+  ?obs:Obs.Bus.t ->
+  ?profile:Obs.Profile.t ->
+  ?watchdog:Faults.Watchdog.t ->
+  spec ->
+  run
 (** Runs the full pipeline.  [obs] (default {!Obs.Bus.off}) is threaded
     through the routing simulation {e and} the loop scanner, so a trace
     carries both live protocol events and post-hoc loop lifecycles;
     [profile] collects per-event-tag timings.  Every exit — converged
     or budget-exhausted — yields timed metrics: on non-converged runs
     the replay/scan analyses fall back to empty results if the
-    truncated history cannot be analyzed. *)
+    truncated history cannot be analyzed.
+
+    [watchdog] overrides the wall-clock watchdog the run would arm
+    from [spec.max_wall_s] — the deterministic-test hook (inject one
+    with a fake clock).  The watchdog covers the simulation and every
+    post-run analysis phase: each phase re-checks expiry before
+    starting and degrades to its empty fallback once the budget is
+    gone. *)
 
 val metrics : spec -> Metrics.Run_metrics.t
 (** [metrics spec = (run spec).metrics]. *)

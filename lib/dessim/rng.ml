@@ -2,6 +2,8 @@ type t = Random.State.t
 
 let create ~seed = Random.State.make [| seed; 0x6267_7073; 0x696d |]
 
+let copy t = Random.State.copy t
+
 let split t ~label =
   (* Derive a child seed from the parent stream and the label so that
      sibling streams are decorrelated and the parent advances by one

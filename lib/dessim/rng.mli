@@ -10,6 +10,12 @@ type t
 
 val create : seed:int -> t
 
+val copy : t -> t
+(** Independent copy of the stream state: the copy and the original
+    produce the same subsequent draws without affecting each other.
+    Used to capture RNG state in checkpoints without perturbing the
+    live stream. *)
+
 val split : t -> label:string -> t
 (** [split t ~label] derives an independent stream.  Streams split with
     different labels from the same parent are decorrelated; splitting

@@ -1,0 +1,27 @@
+(** Wall-clock budgets for long-running simulations.
+
+    Complements the engine's event/vtime budgets with real-time
+    limits.  Cooperative, not preemptive: the simulation polls
+    {!expired} at safepoints (between engine chunks, before each
+    post-run analysis phase), so expiry always lands at a consistent
+    state.  The clock is injectable for deterministic tests. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?max_wall_s:float -> unit -> t
+(** Arm a watchdog now.  [clock] defaults to [Unix.gettimeofday];
+    omitting [max_wall_s] yields a watchdog that never expires. *)
+
+val unlimited : t
+(** A watchdog that never expires (and whose clock never advances);
+    useful as a default argument. *)
+
+val expired : t -> bool
+(** [true] once elapsed wall time has reached the budget.  Always
+    [false] without a [max_wall_s]. *)
+
+val elapsed_s : t -> float
+(** Wall seconds since creation, per the watchdog's clock. *)
+
+val remaining_s : t -> float option
+(** Budget remaining (clamped at 0), or [None] if unlimited. *)

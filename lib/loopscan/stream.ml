@@ -1,0 +1,222 @@
+(* Streaming loop detection: the Scanner algorithm, fed one FIB change
+   at a time instead of replaying a recorded history.
+
+   The state is deliberately plain data (no closures, no Vec): churn
+   checkpoints Marshal it directly.  The observability bus is passed
+   per [observe] call rather than stored, for the same reason.
+
+   The algorithm is an independent mirror of [Scanner] (canonical
+   rotation, kill-then-rescan at the changed node), kept separate so
+   the differential suite compares two implementations rather than one
+   implementation with itself. *)
+
+type live = { l_members : int list; l_birth : float; l_trigger : int }
+
+type t = {
+  origin : int;
+  next_hop : int option array;
+  member_of : live option array;
+  mutable alive : int;
+  mutable max_alive : int;
+  record : bool;
+  mutable finished_rev : Scanner.loop list;  (* only when [record] *)
+  (* bounded-memory aggregates, maintained in both modes *)
+  mutable started : int;
+  mutable resolved : int;
+  mutable sum_size : int;
+  mutable max_size : int;
+  mutable finished_loop_seconds : float;
+  mutable first_loop_birth : float option;
+  mutable last_loop_death : float option;
+}
+
+let canonicalize cycle =
+  let arr = Array.of_list cycle in
+  let n = Array.length arr in
+  let start = ref 0 in
+  for i = 1 to n - 1 do
+    if arr.(i) < arr.(!start) then start := i
+  done;
+  List.init n (fun i -> arr.((!start + i) mod n))
+
+let find_new_cycle t v =
+  let n = Array.length t.next_hop in
+  let rec chase node acc steps =
+    if steps > n then assert false
+    else if node = t.origin then None
+    else if t.member_of.(node) <> None then None
+    else
+      match t.next_hop.(node) with
+      | None -> None
+      | Some next ->
+          if next = v then Some (List.rev (node :: acc))
+          else if List.mem next acc || next = node then assert false
+          else chase next (node :: acc) (steps + 1)
+  in
+  if t.member_of.(v) <> None then None else chase v [] 0
+
+let kill t ~time live =
+  List.iter (fun v -> t.member_of.(v) <- None) live.l_members;
+  t.alive <- t.alive - 1;
+  t.resolved <- t.resolved + 1;
+  t.finished_loop_seconds <-
+    t.finished_loop_seconds +. (time -. live.l_birth);
+  (t.last_loop_death <-
+     match t.last_loop_death with
+     | Some d when d >= time -> t.last_loop_death
+     | _ -> Some time);
+  if t.record then
+    t.finished_rev <-
+      {
+        Scanner.members = live.l_members;
+        birth = live.l_birth;
+        death = Some time;
+        trigger = live.l_trigger;
+      }
+      :: t.finished_rev
+
+let register t ~time ~trigger cycle =
+  let live =
+    { l_members = canonicalize cycle; l_birth = time; l_trigger = trigger }
+  in
+  List.iter (fun v -> t.member_of.(v) <- Some live) live.l_members;
+  t.alive <- t.alive + 1;
+  if t.alive > t.max_alive then t.max_alive <- t.alive;
+  t.started <- t.started + 1;
+  let sz = List.length live.l_members in
+  t.sum_size <- t.sum_size + sz;
+  if sz > t.max_size then t.max_size <- sz;
+  if t.first_loop_birth = None then t.first_loop_birth <- Some time;
+  live
+
+let create ?(record = false) ~origin ~initial () =
+  let n = Array.length initial in
+  if origin < 0 || origin >= n then invalid_arg "Stream.create: bad origin";
+  let t =
+    {
+      origin;
+      next_hop = Array.copy initial;
+      member_of = Array.make n None;
+      alive = 0;
+      max_alive = 0;
+      record;
+      finished_rev = [];
+      started = 0;
+      resolved = 0;
+      sum_size = 0;
+      max_size = 0;
+      finished_loop_seconds = 0.;
+      first_loop_birth = None;
+      last_loop_death = None;
+    }
+  in
+  for v = 0 to n - 1 do
+    match find_new_cycle t v with
+    | None -> ()
+    | Some cycle ->
+        ignore (register t ~time:0. ~trigger:v cycle);
+        invalid_arg "Stream.create: starting state contains a loop"
+  done;
+  t
+
+let observe ?(obs = Obs.Bus.off) t ~time ~node ~next_hop =
+  (match t.member_of.(node) with
+  | Some live ->
+      Obs.Bus.loop_resolved obs ~time ~members:live.l_members;
+      kill t ~time live
+  | None -> ());
+  t.next_hop.(node) <- next_hop;
+  match find_new_cycle t node with
+  | None -> ()
+  | Some cycle ->
+      let live = register t ~time ~trigger:node cycle in
+      Obs.Bus.loop_detected obs ~time ~members:live.l_members ~trigger:node
+
+let live_loops t = t.alive
+let n_nodes t = Array.length t.next_hop
+let fib t node = t.next_hop.(node)
+
+type totals = {
+  loops_started : int;
+  loops_resolved : int;
+  live_now : int;
+  max_concurrent : int;
+  max_size : int;
+  mean_size : float;
+  total_loop_seconds : float;
+      (* finished loops, plus survivors charged up to [until] *)
+  first_loop_birth : float option;
+  last_loop_death : float option;
+}
+
+let totals t ~until =
+  let survivor_seconds = ref 0. in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Some live when not (Hashtbl.mem seen live.l_members) ->
+          Hashtbl.add seen live.l_members ();
+          survivor_seconds := !survivor_seconds +. (until -. live.l_birth)
+      | Some _ | None -> ())
+    t.member_of;
+  {
+    loops_started = t.started;
+    loops_resolved = t.resolved;
+    live_now = t.alive;
+    max_concurrent = t.max_alive;
+    max_size = t.max_size;
+    mean_size =
+      (if t.started = 0 then 0.
+       else float_of_int t.sum_size /. float_of_int t.started);
+    total_loop_seconds = t.finished_loop_seconds +. !survivor_seconds;
+    first_loop_birth = t.first_loop_birth;
+    last_loop_death = (if t.alive > 0 then None else t.last_loop_death);
+  }
+
+let report t =
+  if not t.record then
+    invalid_arg "Stream.report: scanner was created without ~record:true";
+  let finished = ref t.finished_rev in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Some live when not (Hashtbl.mem seen live.l_members) ->
+          Hashtbl.add seen live.l_members ();
+          finished :=
+            {
+              Scanner.members = live.l_members;
+              birth = live.l_birth;
+              death = None;
+              trigger = live.l_trigger;
+            }
+            :: !finished
+      | Some _ | None -> ())
+    t.member_of;
+  let loops =
+    List.sort
+      (fun (a : Scanner.loop) (b : Scanner.loop) ->
+        compare (a.birth, a.members) (b.birth, b.members))
+      !finished
+  in
+  let first_loop_birth =
+    match loops with [] -> None | (l : Scanner.loop) :: _ -> Some l.birth
+  in
+  let last_loop_death =
+    List.fold_left
+      (fun acc (l : Scanner.loop) ->
+        match (acc, l.death) with
+        | None, d -> d
+        | Some _, None -> acc
+        | Some best, Some d -> Some (Stdlib.max best d))
+      None loops
+  in
+  let last_loop_death =
+    if List.exists (fun (l : Scanner.loop) -> l.death = None) loops then None
+    else last_loop_death
+  in
+  {
+    Scanner.loops;
+    first_loop_birth;
+    last_loop_death;
+    max_concurrent = t.max_alive;
+  }

@@ -1,0 +1,65 @@
+(** Streaming (online) loop detection.
+
+    Same functional-graph invariant as {!Scanner} — a FIB change at
+    node [v] can only kill [v]'s loop and only create a loop through
+    [v] — but fed one change at a time, so long churn runs track loops
+    without retaining a FIB history.
+
+    State is plain data (no closures): churn checkpoints Marshal it
+    directly, which is why the observability bus is an argument to
+    {!observe} rather than part of the state.
+
+    Two modes:
+    - [record = false] (default): bounded memory; only aggregate
+      {!totals} are maintained, O(nodes) state regardless of run
+      length.
+    - [record = true]: additionally retains every finished loop so
+      {!report} can produce a {!Scanner.report} for differential
+      comparison against the post-hoc scanner. *)
+
+type t
+
+val create :
+  ?record:bool -> origin:int -> initial:int option array -> unit -> t
+(** [create ~origin ~initial ()] starts tracking from the forwarding
+    state [initial] (copied; [initial.(v)] is [v]'s next hop toward
+    the destination).  The starting state must be loop-free.
+    @raise Invalid_argument if it contains a loop or [origin] is out
+    of range. *)
+
+val observe :
+  ?obs:Obs.Bus.t -> t -> time:float -> node:int -> next_hop:int option -> unit
+(** Apply one FIB change.  Changes must arrive in nondecreasing time
+    order (as the simulation emits them).  [obs] (default
+    {!Obs.Bus.off}) receives [Loop_detected] / [Loop_resolved]
+    events. *)
+
+val live_loops : t -> int
+(** Number of loops alive right now. *)
+
+val n_nodes : t -> int
+
+val fib : t -> int -> int option
+(** Current next hop of a node, as tracked by the scanner. *)
+
+type totals = {
+  loops_started : int;
+  loops_resolved : int;
+  live_now : int;
+  max_concurrent : int;
+  max_size : int;
+  mean_size : float;
+  total_loop_seconds : float;
+      (** finished loops plus survivors charged up to [until] *)
+  first_loop_birth : float option;
+  last_loop_death : float option;
+      (** [None] when no loop resolved yet or one is still alive *)
+}
+
+val totals : t -> until:float -> totals
+(** Aggregates; available in both modes. *)
+
+val report : t -> Scanner.report
+(** Full per-loop report, identical in shape and ordering to
+    {!Scanner.scan}'s (survivors carry [death = None]).
+    @raise Invalid_argument unless created with [~record:true]. *)

@@ -20,6 +20,7 @@ type t = {
   mutable loops_detected : int;
   mutable events_executed : int;
   mutable paths_interned : int;
+  mutable trace_dropped : int;
 }
 
 let create () =
@@ -37,6 +38,7 @@ let create () =
     loops_detected = 0;
     events_executed = 0;
     paths_interned = 0;
+    trace_dropped = 0;
   }
 
 let node t i =
@@ -87,6 +89,7 @@ let incr_mrai_fire t = t.mrai_fires <- t.mrai_fires + 1
 let incr_link_flap t = t.link_flaps <- t.link_flaps + 1
 let incr_loop t = t.loops_detected <- t.loops_detected + 1
 let incr_events t = t.events_executed <- t.events_executed + 1
+let incr_trace_dropped t = t.trace_dropped <- t.trace_dropped + 1
 let add_events t n = t.events_executed <- t.events_executed + n
 
 let observe_paths_interned t ~count =
@@ -110,6 +113,7 @@ type snapshot = {
   s_loops_detected : int;
   s_events_executed : int;
   s_paths_interned : int;  (* gauge: max arena occupancy, not a sum *)
+  s_trace_dropped : int;
   s_nodes : (int * per_node) list;  (* sorted by node id; values copied *)
 }
 
@@ -132,6 +136,7 @@ let snapshot t =
     s_loops_detected = t.loops_detected;
     s_events_executed = t.events_executed;
     s_paths_interned = t.paths_interned;
+    s_trace_dropped = t.trace_dropped;
     s_nodes = nodes;
   }
 
@@ -166,6 +171,7 @@ let merge a b =
     s_loops_detected = a.s_loops_detected + b.s_loops_detected;
     s_events_executed = a.s_events_executed + b.s_events_executed;
     s_paths_interned = max a.s_paths_interned b.s_paths_interned;
+    s_trace_dropped = a.s_trace_dropped + b.s_trace_dropped;
     s_nodes = nodes;
   }
 
@@ -182,6 +188,7 @@ let le a b =
   && a.s_loops_detected <= b.s_loops_detected
   && a.s_events_executed <= b.s_events_executed
   && a.s_paths_interned <= b.s_paths_interned
+  && a.s_trace_dropped <= b.s_trace_dropped
 
 let pp ppf s =
   let f fmt = Format.fprintf ppf fmt in
@@ -196,6 +203,8 @@ let pp ppf s =
   f "  engine events executed %d@\n" s.s_events_executed;
   if s.s_paths_interned > 0 then
     f "  paths interned %d@\n" s.s_paths_interned;
+  if s.s_trace_dropped > 0 then
+    f "  trace events dropped %d@\n" s.s_trace_dropped;
   if s.s_nodes <> [] then begin
     f "  per-node (id: sent/recv/decisions/fib/qdepth-hwm):@\n";
     List.iter

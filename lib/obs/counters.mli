@@ -23,6 +23,10 @@ val incr_link_flap : t -> unit
 val incr_loop : t -> unit
 val incr_events : t -> unit
 
+val incr_trace_dropped : t -> unit
+(** One trace event lost to a bounded sink (ring overwrite).  Long
+    churn runs check this to detect silent trace loss. *)
+
 val add_events : t -> int -> unit
 (** Bulk variant of {!incr_events}: simulations credit the engine's
     final executed-event count once per run instead of per event. *)
@@ -47,6 +51,7 @@ type snapshot = {
   s_loops_detected : int;
   s_events_executed : int;
   s_paths_interned : int;
+  s_trace_dropped : int;
   s_nodes : (int * per_node) list;
 }
 

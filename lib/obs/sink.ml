@@ -10,11 +10,15 @@ let memory () =
   let contents () = List.rev !buf in
   (sink, contents)
 
-let ring ~capacity =
+let ring ?counters ~capacity () =
   if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
   let slots = Array.make capacity None in
   let next = ref 0 in
   let emit ev =
+    (if !next >= capacity then
+       match counters with
+       | Some c -> Counters.incr_trace_dropped c
+       | None -> ());
     slots.(!next mod capacity) <- Some ev;
     incr next
   in

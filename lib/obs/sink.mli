@@ -13,9 +13,13 @@ val fn : (Event.t -> unit) -> t
 val memory : unit -> t * (unit -> Event.t list)
 (** Unbounded in-memory sink; the closure returns events in emit order. *)
 
-val ring : capacity:int -> t * (unit -> Event.t list)
+val ring :
+  ?counters:Counters.t -> capacity:int -> unit -> t * (unit -> Event.t list)
 (** Bounded ring buffer keeping the last [capacity] events, in emit
-    order.  Raises [Invalid_argument] if [capacity <= 0]. *)
+    order.  Each overwrite of a not-yet-read slot bumps the
+    [trace_dropped] counter in [counters] (if given), so bounded-trace
+    runs can detect loss.  Raises [Invalid_argument] if
+    [capacity <= 0]. *)
 
 val jsonl : out_channel -> t
 (** Write one JSON object per line.  [close] flushes but does not close

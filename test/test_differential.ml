@@ -127,6 +127,85 @@ let test_fixture_runs_are_deterministic () =
         (loops ~fib:(Netcore.Trace.fib b.trace) ~origin ~from:b.t_fail))
     Bgpsim.Golden.fixtures
 
+(* --- streaming scanner vs post-hoc scanner --- *)
+
+(* The online scanner ({!Loopscan.Stream}) must reproduce the post-hoc
+   scan exactly: seed it with the snapshot just before [from], replay
+   every change with [time >= from], and the resulting report has to
+   match loop for loop (members, trigger, birth, death) as well as in
+   its aggregates. *)
+let check_stream_matches_posthoc ~name ~fib ~origin ~from =
+  let post = Loopscan.Scanner.scan ~fib ~origin ~from () in
+  let stream =
+    Loopscan.Stream.create ~record:true ~origin
+      ~initial:(Netcore.Fib_history.snapshot fib ~before:from)
+      ()
+  in
+  List.iter
+    (fun (c : Netcore.Fib_history.change) ->
+      Loopscan.Stream.observe stream ~time:c.time ~node:c.node
+        ~next_hop:c.next_hop)
+    (Netcore.Fib_history.changes_from fib ~from);
+  let online = Loopscan.Stream.report stream in
+  Alcotest.(check (list string))
+    (name ^ ": loop-for-loop")
+    (List.map loop_repr post.loops)
+    (List.map loop_repr online.loops);
+  Alcotest.(check int)
+    (name ^ ": max concurrent")
+    post.max_concurrent online.max_concurrent;
+  Alcotest.(check (option (float 0.)))
+    (name ^ ": first birth")
+    post.first_loop_birth online.first_loop_birth;
+  Alcotest.(check (option (float 0.)))
+    (name ^ ": last death")
+    post.last_loop_death online.last_loop_death;
+  Alcotest.(check int)
+    (name ^ ": live loops")
+    (List.length (List.filter (fun l -> l.Loopscan.Scanner.death = None) post.loops))
+    (Loopscan.Stream.live_loops stream)
+
+let test_stream_on_golden_fixtures () =
+  List.iter
+    (fun (f : Bgpsim.Golden.fixture) ->
+      let graph, origin, event = Bgpsim.Experiment.resolve f.spec in
+      let rs =
+        Bgp.Routing_sim.run ~params:f.spec.params ~graph ~origin ~event
+          ~seed:f.spec.seed ()
+      in
+      check_stream_matches_posthoc ~name:f.name
+        ~fib:(Netcore.Trace.fib rs.trace) ~origin ~from:rs.t_fail)
+    Bgpsim.Golden.fixtures
+
+let test_stream_on_random_topologies () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun seed ->
+          let graph = Topo.Internet.generate ~seed n in
+          let origin =
+            match Topo.Internet.stub_nodes graph with
+            | o :: _ -> o
+            | [] -> 0
+          in
+          let rs = Bgp.Routing_sim.run ~graph ~origin ~event:Tdown ~seed () in
+          check_stream_matches_posthoc
+            ~name:(fmt "internet-%d/seed-%d" n seed)
+            ~fib:(Netcore.Trace.fib rs.trace) ~origin ~from:rs.t_fail)
+        [ 1; 2; 3; 4 ])
+    [ 10; 14; 18 ]
+
+(* Replaying from t = 0 includes the originate wave: the stream starts
+   from the empty FIB and must still agree. *)
+let test_stream_from_cold_start () =
+  let graph = Topo.Internet.generate ~seed:7 16 in
+  let origin =
+    match Topo.Internet.stub_nodes graph with o :: _ -> o | [] -> 0
+  in
+  let rs = Bgp.Routing_sim.run ~graph ~origin ~event:Tdown ~seed:7 () in
+  check_stream_matches_posthoc ~name:"cold start"
+    ~fib:(Netcore.Trace.fib rs.trace) ~origin ~from:0.
+
 (* --- QCheck: the arena against the list model --- *)
 
 (* Duplicate-free AS lists (of_list rejects repeats by design). *)
@@ -252,6 +331,12 @@ let () =
       ( "determinism",
         [ tc "golden fixtures run twice" test_fixture_runs_are_deterministic ]
       );
+      ( "streaming scanner",
+        [
+          tc "golden fixtures" test_stream_on_golden_fixtures;
+          tc "12 random internet topologies" test_stream_on_random_topologies;
+          tc "cold start from the empty FIB" test_stream_from_cold_start;
+        ] );
       ( "arena properties",
         [
           qc prop_roundtrip;

@@ -172,6 +172,73 @@ let test_non_converged_survives_analysis () =
         ((not r.metrics.converged) && r.metrics.wall_clock_s > 0.))
     [ 10; 50; 200 ]
 
+(* --- wall-clock watchdog (spec.max_wall_s) --- *)
+
+let test_wall_budget_exhausted_at_start () =
+  (* a zero budget expires before the first event: structured
+     [Wall_budget] termination, empty analyses, no exception *)
+  let spec =
+    { (Experiment.default_spec (Experiment.Clique 8)) with
+      max_wall_s = Some 0. }
+  in
+  let r = Experiment.run spec in
+  (match Experiment.status r.outcome with
+  | Experiment.Non_converged { termination; _ } ->
+      Alcotest.(check bool) "wall budget hit" true
+        (termination = Bgp.Routing_sim.Wall_budget)
+  | Experiment.Completed -> Alcotest.fail "expected Non_converged");
+  Alcotest.(check bool) "not converged" false r.metrics.converged;
+  Alcotest.(check int) "loop scan degraded to empty" 0
+    (List.length r.loops.loops);
+  Alcotest.(check int) "replay degraded to empty" 0 r.replay.sent;
+  Alcotest.(check (list string)) "no bound violations claimed" []
+    (List.map
+       (fun (v : Analysis.Bounds.violation) -> v.what)
+       r.bound_violations)
+
+let test_wall_budget_expiring_after_sim_skips_analysis () =
+  (* a fake clock that jumps past the budget once the simulation has
+     drained: the run itself completes, but replay and loop scan
+     re-check expiry and degrade to their empty fallbacks *)
+  let fib_changes = ref 0 in
+  let sink =
+    Obs.Sink.fn (fun ev ->
+        match ev with Obs.Event.Fib_change _ -> incr fib_changes | _ -> ())
+  in
+  let obs = Obs.Bus.create ~sink () in
+  let clock () = if !fib_changes > 0 then 1e9 else 0. in
+  let wd = Faults.Watchdog.create ~clock ~max_wall_s:1. () in
+  let spec = Experiment.default_spec (Experiment.Clique 6) in
+  let r = Experiment.run ~obs ~watchdog:wd spec in
+  Alcotest.(check bool) "warm-up produced FIB changes" true (!fib_changes > 0);
+  (match Experiment.status r.outcome with
+  | Experiment.Non_converged { termination; _ } ->
+      Alcotest.(check bool) "wall budget termination" true
+        (termination = Bgp.Routing_sim.Wall_budget)
+  | Experiment.Completed -> Alcotest.fail "expected Non_converged");
+  Alcotest.(check int) "loop scan skipped" 0 (List.length r.loops.loops);
+  Alcotest.(check int) "replay skipped" 0 r.replay.sent;
+  Alcotest.(check bool) "wall clock still measured" true
+    (r.metrics.wall_clock_s > 0.)
+
+let test_generous_wall_budget_is_transparent () =
+  (* a watchdog that never fires must not perturb the run: metrics
+     match the unwatched baseline exactly *)
+  let spec =
+    { (Experiment.default_spec (Experiment.Clique 6)) with mrai = 5. }
+  in
+  let base = Experiment.run spec in
+  let watched = Experiment.run { spec with max_wall_s = Some 1e6 } in
+  Alcotest.(check bool) "converged" true watched.metrics.converged;
+  Alcotest.(check (float 0.)) "convergence time"
+    base.metrics.convergence_time watched.metrics.convergence_time;
+  Alcotest.(check int) "updates" base.metrics.updates_sent
+    watched.metrics.updates_sent;
+  Alcotest.(check int) "packets" base.metrics.packets_sent
+    watched.metrics.packets_sent;
+  Alcotest.(check int) "loops" (List.length base.loops.loops)
+    (List.length watched.loops.loops)
+
 (* --- Sweep --- *)
 
 let test_over_seeds_averages () =
@@ -288,6 +355,14 @@ let () =
             test_non_converged_vtime_budget_timed;
           tc "non-converged survives analysis"
             test_non_converged_survives_analysis;
+        ] );
+      ( "wall budget",
+        [
+          tc "exhausted at start" test_wall_budget_exhausted_at_start;
+          tc "expiry after sim skips analysis"
+            test_wall_budget_expiring_after_sim_skips_analysis;
+          tc "generous budget is transparent"
+            test_generous_wall_budget_is_transparent;
         ] );
       ( "sweep",
         [

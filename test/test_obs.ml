@@ -55,7 +55,7 @@ let test_memory_sink_order () =
     (List.map Obs.Event.time (contents ()))
 
 let test_ring_sink_keeps_last () =
-  let sink, contents = Obs.Sink.ring ~capacity:3 in
+  let sink, contents = Obs.Sink.ring ~capacity:3 () in
   for i = 0 to 9 do
     Obs.Sink.emit sink (ev_sent ~time:(float_of_int i) ~src:i ~dst:0 ~withdraw:false)
   done;
@@ -64,7 +64,32 @@ let test_ring_sink_keeps_last () =
     (List.map Obs.Event.time (contents ()));
   Alcotest.check_raises "capacity 0 rejected"
     (Invalid_argument "Sink.ring: capacity must be positive") (fun () ->
-      ignore (Obs.Sink.ring ~capacity:0))
+      ignore (Obs.Sink.ring ~capacity:0 ()))
+
+let test_ring_sink_counts_drops () =
+  let c = Obs.Counters.create () in
+  let sink, contents = Obs.Sink.ring ~counters:c ~capacity:3 () in
+  for i = 0 to 9 do
+    Obs.Sink.emit sink (ev_sent ~time:(float_of_int i) ~src:i ~dst:0 ~withdraw:false)
+  done;
+  let s = Obs.Counters.snapshot c in
+  Alcotest.(check int) "10 emits into 3 slots drop 7" 7 s.s_trace_dropped;
+  Alcotest.(check int) "ring still serves the tail" 3
+    (List.length (contents ()));
+  (* below capacity: nothing dropped *)
+  let c2 = Obs.Counters.create () in
+  let sink2, _ = Obs.Sink.ring ~counters:c2 ~capacity:8 () in
+  for i = 0 to 4 do
+    Obs.Sink.emit sink2
+      (ev_sent ~time:(float_of_int i) ~src:i ~dst:0 ~withdraw:false)
+  done;
+  Alcotest.(check int) "no drops below capacity" 0
+    (Obs.Counters.snapshot c2).s_trace_dropped;
+  (* the counter participates in snapshot merge/ordering *)
+  Alcotest.(check bool) "drops respected by le" false
+    (Obs.Counters.le s (Obs.Counters.snapshot c2));
+  let m = Obs.Counters.merge s (Obs.Counters.snapshot c2) in
+  Alcotest.(check int) "merge sums drops" 7 m.s_trace_dropped
 
 let test_tee_sink () =
   let s1, c1 = Obs.Sink.memory () in
@@ -387,6 +412,7 @@ let () =
         [
           tc "memory order" test_memory_sink_order;
           tc "ring keeps last" test_ring_sink_keeps_last;
+          tc "ring counts drops" test_ring_sink_counts_drops;
           tc "tee duplicates" test_tee_sink;
           tc "jsonl file digest" test_jsonl_file_digest_matches_events;
         ] );
