@@ -888,15 +888,17 @@ let scale_group ~pool ~smoke () =
 
    One persistent simulation driven through flap epochs by the churn
    engine (streaming loop detection, arena compaction every 8 epochs,
-   no digesting, no checkpoints).  The full group runs to 10 M engine
-   events and gates two regressions: throughput must stay at or above
-   the one-shot scale workload's recorded floor (BENCH_e3527b6:
-   446 k ev/s), and the peak heap must stay flat across the horizon —
-   bounded-memory operation is the point of the service mode. *)
+   no checkpoints).  The full groups run to 10 M engine events and
+   gate two regressions: throughput must stay at or above the one-shot
+   scale workload's recorded floor (BENCH_e3527b6: 446 k ev/s), and
+   the peak heap must stay flat across the horizon — bounded-memory
+   operation is the point of the service mode.  The churn-digest
+   variant keeps the per-epoch digest chain on (folding Obs.Binary
+   frames), measuring the fully-audited fast path. *)
 
 let churn_floor_ev_s = 446_000.
 
-let churn_group ~smoke () =
+let churn_group ~smoke ~digest () =
   let n = 110 in
   let graph = Topo.Internet.generate ~seed:1 n in
   let origin = List.hd (Topo.Graph.min_degree_nodes graph) in
@@ -904,10 +906,13 @@ let churn_group ~smoke () =
   let workload = Churn.Workload.make ~epoch_len:300. ~flap_rate:8. () in
   let cfg =
     Churn.Driver.make ~seed:1 ~workload ~epochs:max_int ~target_events
-      ~compact_every:8 ~digest:false ~graph ~origin ()
+      ~compact_every:8 ~digest ~graph ~origin ()
   in
-  say "=== Churn: sustained service mode on internet-%d (target %d events) ===@."
-    n target_events;
+  say
+    "=== Churn: sustained service mode on internet-%d (target %d events, \
+     digest %s) ===@."
+    n target_events
+    (if digest then "on" else "off");
   (* peak-heap sample once the run is warm (10 % of the horizon, past
      GC ramp-up); the flat-heap gate compares the end-of-run peak
      against it *)
@@ -927,9 +932,15 @@ let churn_group ~smoke () =
     else 0.
   in
   let t = r.Churn.Driver.loop_totals in
+  (match r.Churn.Driver.chain_digest with
+  | Some d -> say "chain-digest %s" d
+  | None -> ());
   print_string
     (Report.table
-       ~title:(if smoke then "churn smoke" else "churn: 10M-event horizon")
+       ~title:
+         (if smoke then "churn smoke"
+          else if digest then "churn: 10M-event horizon (digest chain on)"
+          else "churn: 10M-event horizon")
        ~header:
          [
            "epochs"; "events"; "wall(s)"; "ev/s"; "fib-chg"; "loops";
@@ -1147,6 +1158,8 @@ type group_report = {
   name : string;
   wall_s : float;
   events : int;  (* 0 = the group does not count simulator events *)
+  alloc_words : float;  (* words allocated on the main domain *)
+  peak_heap_words : int;  (* process top_heap_words after the group *)
 }
 
 (* speedup group's sequential/parallel timings, when it ran *)
@@ -1170,8 +1183,9 @@ let groups =
     ("counters", fun ~pool -> counters_group ~pool);
     ("scale", fun ~pool -> scale_group ~pool ~smoke:false ());
     ("scale-smoke", fun ~pool -> scale_group ~pool ~smoke:true ());
-    ("churn", fun ~pool:_ -> churn_group ~smoke:false ());
-    ("churn-smoke", fun ~pool:_ -> churn_group ~smoke:true ());
+    ("churn", fun ~pool:_ -> churn_group ~smoke:false ~digest:false ());
+    ("churn-digest", fun ~pool:_ -> churn_group ~smoke:false ~digest:true ());
+    ("churn-smoke", fun ~pool:_ -> churn_group ~smoke:true ~digest:false ());
     ("micro", fun ~pool:_ -> micro (); 0);
   ]
 
@@ -1206,7 +1220,7 @@ let json_escape s =
 let write_json ~path ~jobs reports =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"bgpsim-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"bgpsim-bench/2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"revision\": \"%s\",\n" (json_escape (git_revision ())));
   Buffer.add_string buf
@@ -1221,11 +1235,13 @@ let write_json ~path ~jobs reports =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \
-            \"events_per_sec\": %s}%s\n"
+            \"events_per_sec\": %s, \"alloc_words\": %.0f, \
+            \"peak_heap_words\": %d}%s\n"
            (json_escape r.name) r.wall_s r.events
            (if r.events > 0 && r.wall_s > 0. then
               Printf.sprintf "%.0f" (float_of_int r.events /. r.wall_s)
             else "null")
+           r.alloc_words r.peak_heap_words
            (if i = List.length reports - 1 then "" else ",")))
     reports;
   Buffer.add_string buf "  ],\n";
@@ -1282,15 +1298,32 @@ let () =
     (fun name ->
       match List.assoc_opt name groups with
       | Some f ->
+          (* per-group allocation/heap sample on the main domain; pooled
+             groups allocate in their workers too, so this is a floor,
+             not a total (EXPERIMENTS.md §"Bench perf records") *)
+          let before = Gc.quick_stat () in
           let t0 = Unix.gettimeofday () in
           let events = f ~pool in
           let wall_s = Unix.gettimeofday () -. t0 in
+          let after = Gc.quick_stat () in
+          let allocated (s : Gc.stat) =
+            s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+          in
+          let alloc_words = allocated after -. allocated before in
           say "[%s] %.2f s wall%s@." name wall_s
             (if events > 0 then
                Printf.sprintf ", %d events (%.0f ev/s)" events
                  (float_of_int events /. wall_s)
              else "");
-          reports := { name; wall_s; events } :: !reports
+          reports :=
+            {
+              name;
+              wall_s;
+              events;
+              alloc_words;
+              peak_heap_words = after.Gc.top_heap_words;
+            }
+            :: !reports
       | None ->
           Format.eprintf "unknown bench group %S (known: %s, fig6, fig7, all)@."
             name

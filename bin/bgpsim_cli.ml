@@ -223,9 +223,35 @@ let trace_file_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
-          "Write the structured event trace of the first seed's run as JSONL \
-           to $(docv) and print its digest (the golden-trace fixture \
-           format).")
+          "Write the structured event trace of the first seed's run to \
+           $(docv) (format set by --trace-format) and print its JSONL digest \
+           (the golden-trace fixture format).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("binary", `Binary) ]) `Json
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Trace encoding for --trace: json (JSONL, the golden/oracle \
+           format) or binary (length-prefixed frames, the fast path; decode \
+           back to JSONL with 'trace decode').")
+
+let trace_sink path = function
+  | `Json -> Obs.Sink.jsonl_file path
+  | `Binary -> Obs.Sink.binary_file path
+
+(* The printed digest is always the canonical JSONL digest, whatever
+   encoding was written — a binary capture is decoded back through the
+   oracle so the number stays comparable with the golden fixtures. *)
+let trace_jsonl_digest path = function
+  | `Json -> Obs.Trace_digest.of_file path
+  | `Binary ->
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let bytes = really_input_string ic len in
+      close_in ic;
+      Obs.Trace_digest.of_events (Obs.Binary.decode_all bytes)
 
 let counters_flag =
   Arg.(
@@ -246,7 +272,8 @@ let profile_flag =
 
 let run_cmd =
   let action topology event scenario invariants max_events max_vtime preflight
-      enhancement mrai seed seeds jobs trace_file counters profile =
+      enhancement mrai seed seeds jobs trace_file trace_format counters profile
+      =
     let spec =
       spec_of ?scenario ~invariants ~max_events ?max_vtime ~preflight topology
         event enhancement mrai seed
@@ -282,7 +309,7 @@ let run_cmd =
             let regs = if counters then Some (Obs.Counters.create ()) else None in
             let sink =
               match trace_file with
-              | Some path when i = 0 -> Obs.Sink.jsonl_file path
+              | Some path when i = 0 -> trace_sink path trace_format
               | Some _ | None -> Obs.Sink.null
             in
             let obs = Obs.Bus.create ~sink ?counters:regs () in
@@ -305,7 +332,7 @@ let run_cmd =
       (match trace_file with
       | Some path when Sys.file_exists path ->
           Format.printf "@.trace %s  digest %s@." path
-            (Obs.Trace_digest.of_file path)
+            (trace_jsonl_digest path trace_format)
       | Some _ | None -> ());
       (match List.filter_map (fun (_, c, _) -> c) ok with
       | [] -> ()
@@ -324,7 +351,7 @@ let run_cmd =
       const action $ topology_arg $ event_arg $ scenario_arg $ invariants_arg
       $ max_events_arg $ max_vtime_arg $ preflight_arg $ enhancement_arg
       $ mrai_arg $ seed_arg $ seeds_arg $ jobs_arg $ trace_file_arg
-      $ counters_flag $ profile_flag)
+      $ trace_format_arg $ counters_flag $ profile_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one failure scenario and print its metrics")
@@ -856,9 +883,19 @@ let churn_cmd =
   let quiet_flag =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-epoch lines.")
   in
+  let churn_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Stream every trace event (warm-up included) to $(docv) in the \
+             encoding set by --trace-format, teed with the digest chain.")
+  in
   let action topology epochs epoch_len flap_rate seed mrai enhancement
       checkpoint_dir checkpoint_every compact_every resume max_wall_s
-      target_events stall_epochs kill_after_epoch no_digest quiet =
+      target_events stall_epochs kill_after_epoch no_digest trace_file
+      trace_format quiet =
     let graph, origin, _ =
       Bgpsim.Experiment.resolve_raw
         { (Bgpsim.Experiment.default_spec topology) with seed }
@@ -912,7 +949,13 @@ let churn_cmd =
           | Some p -> "  ckpt " ^ Filename.basename p
           | None -> "")
     in
-    let r = Churn.Driver.run ~watchdog ~on_epoch ?resume_from cfg in
+    let sink = Option.map (fun p -> trace_sink p trace_format) trace_file in
+    let r =
+      try Churn.Driver.run ~watchdog ~on_epoch ?resume_from ?sink cfg
+      with Churn.Checkpoint.Incompatible_version _ as e ->
+        Printf.eprintf "churn: %s\n" (Printexc.to_string e);
+        exit 6
+    in
     let t = r.loop_totals in
     Printf.printf "status %s\n" (Churn.Driver.status_name r.status);
     Printf.printf "epochs %d  events %d  vtime %.1f\n" r.epochs_completed
@@ -940,7 +983,8 @@ let churn_cmd =
       const action $ topology_arg $ epochs_arg $ epoch_len_arg $ flap_rate_arg
       $ seed_arg $ mrai_arg $ enhancement_arg $ checkpoint_dir_arg
       $ checkpoint_every_arg $ compact_every_arg $ resume_flag $ max_wall_arg
-      $ target_events_arg $ stall_arg $ kill_arg $ no_digest_flag $ quiet_flag)
+      $ target_events_arg $ stall_arg $ kill_arg $ no_digest_flag
+      $ churn_trace_arg $ trace_format_arg $ quiet_flag)
   in
   Cmd.v
     (Cmd.info "churn"
@@ -1009,15 +1053,79 @@ let trace_cmd =
          ~until:(run.outcome.convergence_end +. spec.replay_tail));
     Format.printf "%a@." Metrics.Run_metrics.pp run.metrics
   in
-  let term =
+  let export_term =
     Term.(
       const action $ topology_arg $ event_arg $ enhancement_arg $ mrai_arg
       $ seed_arg $ dir_arg)
   in
-  Cmd.v
+  (* trace decode: the binary→JSONL oracle.  Output is byte-identical
+     to what Sink.jsonl_file would have written for the same run, so
+     golden digests carry over to binary captures. *)
+  let decode_cmd =
+    let input_arg =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"TRACE" ~doc:"Binary trace file to decode.")
+    in
+    let output_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write the JSONL to $(docv) instead of standard output.")
+    in
+    let action input output =
+      let ic = open_in_bin input in
+      let reader =
+        try Obs.Binary.open_reader ic
+        with Failure msg ->
+          close_in_noerr ic;
+          Printf.eprintf "trace decode: %s: %s\n" input msg;
+          exit 1
+      in
+      let oc, close_oc =
+        match output with
+        | None -> (stdout, fun () -> flush stdout)
+        | Some path ->
+            let oc = open_out path in
+            (oc, fun () -> close_out oc)
+      in
+      let count = ref 0 in
+      (try
+         let continue_ = ref true in
+         while !continue_ do
+           match Obs.Binary.input reader with
+           | None -> continue_ := false
+           | Some ev ->
+               output_string oc (Obs.Event.to_json ev);
+               output_char oc '\n';
+               incr count
+         done
+       with Failure msg ->
+         close_oc ();
+         close_in_noerr ic;
+         Printf.eprintf "trace decode: %s: %s\n" input msg;
+         exit 1);
+      close_oc ();
+      close_in ic;
+      match output with
+      | Some path -> Printf.printf "decoded %d events -> %s\n" !count path
+      | None -> ()
+    in
+    Cmd.v
+      (Cmd.info "decode"
+         ~doc:
+           "Decode a binary trace (--trace-format binary) back to JSONL, \
+            byte-identical to what the run would have written directly")
+      Term.(const action $ input_arg $ output_arg)
+  in
+  Cmd.group ~default:export_term
     (Cmd.info "trace"
-       ~doc:"Run one scenario and export its FIB/message/loop traces as CSV")
-    term
+       ~doc:
+         "Run one scenario and export its FIB/message/loop traces as CSV, or \
+          decode a binary event trace back to JSONL ('trace decode')")
+    [ decode_cmd ]
 
 (* --- figures --- *)
 

@@ -28,8 +28,25 @@ type t = {
   counters : Obs.Counters.snapshot;
 }
 
-let header = "bgpsim-churn-ckpt v1\n"
-let version = 1
+(* v2: the trace digest chain folds binary frames (Obs.Binary) instead
+   of JSONL lines, so chains written by v1 checkpoints cannot be
+   continued — resuming one must fail structurally, not mid-chain. *)
+let version = 2
+let header_prefix = "bgpsim-churn-ckpt v"
+let header = Printf.sprintf "%s%d\n" header_prefix version
+
+exception
+  Incompatible_version of { path : string; found : int; expected : int }
+
+let () =
+  Printexc.register_printer (function
+    | Incompatible_version { path; found; expected } ->
+        Some
+          (Printf.sprintf
+             "%s: incompatible checkpoint version %d (this build reads \
+              version %d); re-run without --resume to start a fresh chain"
+             path found expected)
+    | _ -> None)
 
 let file_name epoch = Printf.sprintf "ckpt-%06d.bin" epoch
 
@@ -55,18 +72,29 @@ let read p =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
+      (* all header versions are single-digit so far, so every header
+         has the same length and one fixed-size read suffices *)
       let h =
         try really_input_string ic (String.length header)
         with End_of_file ->
           failwith (p ^ ": truncated churn checkpoint")
       in
-      if h <> header then
-        failwith (p ^ ": not a " ^ String.trim header ^ " checkpoint");
+      let pl = String.length header_prefix in
+      if
+        String.length h < pl + 2
+        || String.sub h 0 pl <> header_prefix
+        || h.[String.length h - 1] <> '\n'
+      then failwith (p ^ ": not a " ^ header_prefix ^ "N checkpoint");
+      (match int_of_string_opt (String.sub h pl (String.length h - pl - 1)) with
+      | None -> failwith (p ^ ": not a " ^ header_prefix ^ "N checkpoint")
+      | Some v when v <> version ->
+          raise (Incompatible_version { path = p; found = v; expected = version })
+      | Some _ -> ());
       let t : t = Marshal.from_channel ic in
       if t.version <> version then
-        failwith
-          (Printf.sprintf "%s: checkpoint version %d, expected %d" p t.version
-             version);
+        raise
+          (Incompatible_version
+             { path = p; found = t.version; expected = version });
       t)
 
 (* epoch number encoded in a checkpoint file name, if it is one *)

@@ -8,13 +8,24 @@
     uninterrupted run bit-for-bit — the resume-equivalence tests
     compare golden trace digests across a kill/resume.
 
-    On disk: the ASCII header ["bgpsim-churn-ckpt v1\n"] followed by
-    one [Marshal]ed {!t}.  Files are written atomically (temp +
-    rename), so an interrupted write never corrupts the previous
-    checkpoint. *)
+    On disk: the ASCII header ["bgpsim-churn-ckpt vN\n"] (N = {!version})
+    followed by one [Marshal]ed {!t}.  Files are written atomically
+    (temp + rename), so an interrupted write never corrupts the
+    previous checkpoint.
+
+    Version history: v1 chained digests over JSONL lines; v2 chains
+    digests over {!Obs.Binary} frames.  Chains across the two formats
+    are unrelated, so {!read} refuses other versions with
+    {!Incompatible_version} rather than continuing a broken chain. *)
+
+exception
+  Incompatible_version of { path : string; found : int; expected : int }
+(** The file is a churn checkpoint, but from another format version.
+    Structured (not a bare [Failure]) so callers can map it to a
+    distinct exit code. *)
 
 type t = {
-  version : int;  (** format version; this module reads/writes 1 *)
+  version : int;  (** format version; this module reads/writes {!version} *)
   fingerprint : string;
       (** digest of the run configuration (graph, seed, BGP config,
           workload); resuming under a different configuration is
@@ -46,7 +57,9 @@ val write : dir:string -> t -> string
     @raise Sys_error on I/O failure. *)
 
 val read : string -> t
-(** @raise Failure on a missing/foreign header or version mismatch. *)
+(** @raise Failure on a missing, foreign, or truncated header.
+    @raise Incompatible_version on a churn checkpoint from a different
+    format version. *)
 
 val latest : dir:string -> (int * string) option
 (** The highest-epoch checkpoint in [dir], if any. *)

@@ -160,7 +160,8 @@ let validate cfg =
       invalid_arg "Churn.Driver: stall_epochs must be positive"
   | Some _ | None -> ())
 
-let run ?(watchdog = Faults.Watchdog.unlimited) ?on_epoch ?resume_from cfg =
+let run ?(watchdog = Faults.Watchdog.unlimited) ?on_epoch ?resume_from ?sink
+    cfg =
   validate cfg;
   let n = Topo.Graph.n_nodes cfg.graph in
   let fp = fingerprint cfg in
@@ -183,18 +184,22 @@ let run ?(watchdog = Faults.Watchdog.unlimited) ?on_epoch ?resume_from cfg =
     | None -> Dessim.Engine.create ()
   in
   (* --- observability: counters always on; the per-epoch digest sink
-     folds the byte-stable JSONL rendering of every event --- *)
+     folds the byte-stable binary encoding (Obs.Binary frames) of every
+     event — no JSON rendering on the hot path.  An optional caller
+     sink (e.g. a trace file) is teed in and closed on finish. --- *)
   let counters = Obs.Counters.create () in
   let digest_buf = Buffer.create (if cfg.digest then 1 lsl 16 else 16) in
-  let obs =
+  let digest_sink =
     if cfg.digest then
-      Obs.Bus.create
-        ~sink:
-          (Obs.Sink.fn (fun ev ->
-               Buffer.add_string digest_buf (Obs.Event.to_json ev);
-               Buffer.add_char digest_buf '\n'))
-        ~counters ()
-    else Obs.Bus.create ~counters ()
+      Some (Obs.Sink.fn (fun ev -> Obs.Binary.encode digest_buf ev))
+    else None
+  in
+  let obs =
+    match (digest_sink, sink) with
+    | Some d, Some s -> Obs.Bus.create ~sink:(Obs.Sink.tee d s) ~counters ()
+    | Some d, None -> Obs.Bus.create ~sink:d ~counters ()
+    | None, Some s -> Obs.Bus.create ~sink:s ~counters ()
+    | None, None -> Obs.Bus.create ~counters ()
   in
   (* --- fabric: links, node processors, one shared path arena --- *)
   let links = Hashtbl.create (Topo.Graph.n_edges cfg.graph) in

@@ -7,9 +7,10 @@
     data (no queued events, no running MRAI timers, no in-flight
     messages):
 
-    - the per-epoch trace digest is folded into a rolling chain
-      ([c_i = md5(c_(i-1) ^ d_i)]) — the golden value the
-      resume-equivalence tests compare;
+    - the per-epoch trace digest ([d_i], md5 over the epoch's
+      {!Obs.Binary} frames — no JSON rendering on the hot path) is
+      folded into a rolling chain ([c_i = md5(c_(i-1) ^ d_i)]) — the
+      golden value the resume-equivalence tests compare;
     - the path arena is compacted every [compact_every] epochs:
       every live handle is re-interned into a fresh arena
       ({!Bgp.As_path.reintern} via {!Bgp.Speaker.remap_paths}),
@@ -137,6 +138,7 @@ val run :
   ?watchdog:Faults.Watchdog.t ->
   ?on_epoch:(epoch_info -> unit) ->
   ?resume_from:string ->
+  ?sink:Obs.Sink.t ->
   cfg ->
   result
 (** Runs churn epochs until the configured horizon or a terminal
@@ -144,7 +146,13 @@ val run :
     toward [cfg.epochs]; the resumed trace (and hence the digest
     chain) is identical to the uninterrupted run's.
 
+    [sink] receives every trace event (teed with the digest sink when
+    [digest] is on) and is closed when the run finishes; warm-up events
+    reach it even though they are excluded from the digest chain.
+
     @raise Invalid_argument on an invalid configuration or a
     checkpoint fingerprint mismatch.
+    @raise Checkpoint.Incompatible_version when resuming from a
+    checkpoint written by another format version.
     @raise Failure on a corrupt checkpoint file or a compaction
     invariant violation. *)

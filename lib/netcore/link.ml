@@ -71,7 +71,7 @@ let send t ~engine ~from ~deliver =
   if not t.up then begin
     Obs.Bus.msg_dropped t.obs
       ~time:(Dessim.Engine.now engine)
-      ~a:from ~b:dst ~reason:"down";
+      ~a:from ~b:dst ~reason:Obs.Event.Down;
     false
   end
   else begin
@@ -82,7 +82,7 @@ let send t ~engine ~from ~deliver =
         else if t.epoch_guard then
           Obs.Bus.msg_dropped t.obs
             ~time:(Dessim.Engine.now engine)
-            ~a:from ~b:dst ~reason:"stale-epoch"
+            ~a:from ~b:dst ~reason:Obs.Event.Stale_epoch
         else begin
           (* Fault-injection knob: the stale-epoch drop is disabled, so
              the message crosses a fail/recover boundary — exactly what
@@ -98,7 +98,7 @@ let send t ~engine ~from ~deliver =
       else
         Obs.Bus.msg_dropped t.obs
           ~time:(Dessim.Engine.now engine)
-          ~a:from ~b:dst ~reason:"down"
+          ~a:from ~b:dst ~reason:Obs.Event.Down
     in
     let copies =
       match t.chaos with
@@ -112,7 +112,7 @@ let send t ~engine ~from ~deliver =
     if copies = 0 then
       Obs.Bus.msg_dropped t.obs
         ~time:(Dessim.Engine.now engine)
-        ~a:from ~b:dst ~reason:"loss";
+        ~a:from ~b:dst ~reason:Obs.Event.Loss;
     for _ = 1 to copies do
       let (_ : Dessim.Engine.handle) =
         Dessim.Engine.schedule_after ~tag:"link-deliver" engine ~delay:t.delay

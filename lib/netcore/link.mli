@@ -45,9 +45,9 @@ val attach_checker : t -> Faults.Invariant.t -> unit
     [checker]; defaults to {!Faults.Invariant.off}. *)
 
 val attach_obs : t -> Obs.Bus.t -> unit
-(** Routes this link's drop events ([Msg_dropped] with reason ["down"],
-    ["loss"], or ["stale-epoch"]) to the trace bus; defaults to
-    {!Obs.Bus.off}. *)
+(** Routes this link's drop events ([Msg_dropped] with reason [Down],
+    [Loss], or [Stale_epoch] — see {!Obs.Event.drop_reason}) to the
+    trace bus; defaults to {!Obs.Bus.off}. *)
 
 val fail : t -> unit
 (** Takes the link down and invalidates in-flight messages.  Idempotent. *)

@@ -35,7 +35,8 @@ val node_submit : t -> time:float -> node:int -> busy:bool -> depth:int -> unit
     was already occupied when the message arrived. *)
 
 val link_state : t -> time:float -> a:int -> b:int -> up:bool -> unit
-val msg_dropped : t -> time:float -> a:int -> b:int -> reason:string -> unit
+val msg_dropped :
+  t -> time:float -> a:int -> b:int -> reason:Event.drop_reason -> unit
 val loop_detected : t -> time:float -> members:int list -> trigger:int -> unit
 val loop_resolved : t -> time:float -> members:int list -> unit
 

@@ -1,3 +1,14 @@
+(* Message-drop causes, closed so the hot drop path never allocates a
+   reason string.  [drop_reason_to_string] is pinned: the JSONL
+   serialization (and therefore every golden digest) renders these
+   exact bytes. *)
+type drop_reason = Down | Loss | Stale_epoch
+
+let drop_reason_to_string = function
+  | Down -> "down"
+  | Loss -> "loss"
+  | Stale_epoch -> "stale-epoch"
+
 type t =
   | Update_sent of { time : float; src : int; dst : int; withdraw : bool }
   | Update_recv of { time : float; node : int; from : int; withdraw : bool }
@@ -7,7 +18,7 @@ type t =
   | Mrai_fire of { time : float; node : int; peer : int }
   | Node_busy of { time : float; node : int; depth : int }
   | Link_state of { time : float; a : int; b : int; up : bool }
-  | Msg_dropped of { time : float; a : int; b : int; reason : string }
+  | Msg_dropped of { time : float; a : int; b : int; reason : drop_reason }
   | Loop_detected of { time : float; members : int list; trigger : int }
   | Loop_resolved of { time : float; members : int list }
 
@@ -75,7 +86,7 @@ let to_json ev =
         (fmt_time time) a b up
   | Msg_dropped { time; a; b; reason } ->
       Printf.sprintf {|{"ev":"msg_dropped","t":%s,"a":%d,"b":%d,"reason":"%s"}|}
-        (fmt_time time) a b reason
+        (fmt_time time) a b (drop_reason_to_string reason)
   | Loop_detected { time; members; trigger } ->
       Printf.sprintf {|{"ev":"loop_detected","t":%s,"members":%s,"trigger":%d}|}
         (fmt_time time) (int_list members) trigger

@@ -2,7 +2,16 @@
 
     Every constructor carries the virtual time at which it happened.
     The JSONL serialization is byte-stable across runs and platforms:
-    golden-trace digests are computed over [to_json] output. *)
+    golden-trace digests are computed over [to_json] output.  The
+    binary serialization lives in {!Binary} and is byte-stable too. *)
+
+type drop_reason = Down | Loss | Stale_epoch
+(** Why a message was dropped in flight.  Closed (not a string) so the
+    hot drop path allocates nothing. *)
+
+val drop_reason_to_string : drop_reason -> string
+(** Stable rendering: ["down"], ["loss"], ["stale-epoch"].  Pinned by
+    the golden digests — extend, never change. *)
 
 type t =
   | Update_sent of { time : float; src : int; dst : int; withdraw : bool }
@@ -13,7 +22,7 @@ type t =
   | Mrai_fire of { time : float; node : int; peer : int }
   | Node_busy of { time : float; node : int; depth : int }
   | Link_state of { time : float; a : int; b : int; up : bool }
-  | Msg_dropped of { time : float; a : int; b : int; reason : string }
+  | Msg_dropped of { time : float; a : int; b : int; reason : drop_reason }
   | Loop_detected of { time : float; members : int list; trigger : int }
   | Loop_resolved of { time : float; members : int list }
 

@@ -52,6 +52,33 @@ let jsonl_file path =
     close = (fun () -> close_out oc);
   }
 
+(* Frames accumulate in a reused buffer and hit the channel in ~64KB
+   writes, so the hot path does no per-event allocation or syscall. *)
+let binary_flush_threshold = 64 * 1024
+
+let binary_emitter oc ~close_channel =
+  let buf = Buffer.create (binary_flush_threshold + 512) in
+  Buffer.add_string buf Binary.header;
+  let flush_buf () =
+    Buffer.output_buffer oc buf;
+    Buffer.clear buf
+  in
+  {
+    emit =
+      (fun ev ->
+        Binary.encode buf ev;
+        if Buffer.length buf >= binary_flush_threshold then flush_buf ());
+    close =
+      (fun () ->
+        flush_buf ();
+        if close_channel then close_out oc else flush oc);
+  }
+
+let binary oc = binary_emitter oc ~close_channel:false
+
+let binary_file path =
+  binary_emitter (open_out_bin path) ~close_channel:true
+
 let tee a b =
   {
     emit =

@@ -28,6 +28,16 @@ val jsonl : out_channel -> t
 val jsonl_file : string -> t
 (** Like {!jsonl} but opens [path] and closes it on [close]. *)
 
+val binary : out_channel -> t
+(** Write the binary trace format ({!Binary}): stream header up front,
+    one length-prefixed frame per event, buffered through a reused
+    buffer (no per-event allocation).  [close] flushes but does not
+    close the channel (caller owns it). *)
+
+val binary_file : string -> t
+(** Like {!binary} but opens [path] (binary mode) and closes it on
+    [close]. *)
+
 val tee : t -> t -> t
 (** Duplicate events to both sinks. *)
 

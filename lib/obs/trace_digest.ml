@@ -13,3 +13,10 @@ let of_events events =
   Digest.to_hex (Digest.string (Buffer.contents ctx))
 
 let of_file path = Digest.to_hex (Digest.file path)
+
+(* Digest over the concatenated binary frames only — no stream header —
+   so it matches what the churn digest chain folds per epoch. *)
+let of_events_binary events =
+  let ctx = Buffer.create 4096 in
+  List.iter (fun ev -> Binary.encode ctx ev) events;
+  Digest.to_hex (Digest.string (Buffer.contents ctx))

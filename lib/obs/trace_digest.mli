@@ -9,3 +9,7 @@ val of_events : Event.t list -> string
 
 val of_file : string -> string
 (** Hex md5 of a file's bytes. *)
+
+val of_events_binary : Event.t list -> string
+(** Hex md5 of the concatenated {!Binary} frames (no stream header) —
+    the per-epoch quantity the churn digest chain folds. *)

@@ -223,6 +223,73 @@ let test_checkpoint_refuses_mismatch () =
        false
      with Failure _ -> true)
 
+let test_checkpoint_incompatible_version () =
+  let dir = temp_dir () in
+  let stale = Filename.concat dir "ckpt-000004.bin" in
+  let oc = open_out_bin stale in
+  output_string oc "bgpsim-churn-ckpt v1\nold marshalled payload";
+  close_out oc;
+  (* structured error, not a generic Failure: callers (the CLI) map it
+     to a dedicated exit code *)
+  (try
+     ignore (Churn.Checkpoint.read stale : Churn.Checkpoint.t);
+     Alcotest.fail "v1 checkpoint must be rejected"
+   with Churn.Checkpoint.Incompatible_version { path; found; expected } ->
+     Alcotest.(check string) "path reported" stale path;
+     Alcotest.(check int) "found version" 1 found;
+     Alcotest.(check int) "expected version" Churn.Checkpoint.version expected);
+  (* the same structured exception surfaces through Driver.run *)
+  try
+    ignore
+      (Churn.Driver.run ~resume_from:stale (base_cfg ())
+        : Churn.Driver.result);
+    Alcotest.fail "driver must refuse a v1 checkpoint"
+  with Churn.Checkpoint.Incompatible_version _ -> ()
+
+(* --- trace sink tee: the driver's external sink sees the same events
+   the digest chain is built from --- *)
+
+let test_driver_sink_matches_digest_chain () =
+  let events = ref [] in
+  let sink = Obs.Sink.fn (fun ev -> events := ev :: !events) in
+  let r = Churn.Driver.run ~sink (base_cfg ~epochs:3 ()) in
+  let events = List.rev !events in
+  Alcotest.(check bool) "sink saw events" true (List.length events > 0);
+  (* recompute the chain from the sink's events, split at epoch
+     boundaries the same way the driver does: warm-up events (before
+     scan_begin) are excluded, and each epoch's binary frames are
+     digested then folded into the chain *)
+  let r2 =
+    let infos = ref [] in
+    let collect ei = infos := ei :: !infos in
+    ignore
+      (Churn.Driver.run ~on_epoch:collect (base_cfg ~epochs:3 ())
+        : Churn.Driver.result);
+    List.rev !infos
+  in
+  let buf = Buffer.create 4096 in
+  let chain_acc = ref "" in
+  let remaining = ref events in
+  (* drop warm-up: events at or before scan_begin belong to warm-up *)
+  remaining :=
+    List.filter (fun ev -> Obs.Event.time ev > r.scan_begin) !remaining;
+  List.iter
+    (fun (ei : Churn.Driver.epoch_info) ->
+      let this_epoch, rest =
+        List.partition (fun ev -> Obs.Event.time ev <= ei.ei_vtime) !remaining
+      in
+      remaining := rest;
+      Buffer.clear buf;
+      List.iter (Obs.Binary.encode buf) this_epoch;
+      let d = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+      Alcotest.(check (option string))
+        (fmt "epoch %d digest" ei.ei_epoch)
+        ei.ei_digest (Some d);
+      chain_acc := Digest.to_hex (Digest.string (!chain_acc ^ d)))
+    r2;
+  Alcotest.(check string) "chain recomputed from the sink's events"
+    (chain r) !chain_acc
+
 let test_checkpoint_latest () =
   let dir = temp_dir () in
   ignore
@@ -403,7 +470,14 @@ let () =
           tc "kill + resume = uninterrupted" test_resume_matches_uninterrupted;
           tc "resume from every checkpoint" test_resume_from_every_checkpoint;
           tc "mismatch and corruption refused" test_checkpoint_refuses_mismatch;
+          tc "incompatible version structured"
+            test_checkpoint_incompatible_version;
           tc "latest finds the final boundary" test_checkpoint_latest;
+        ] );
+      ( "trace sink",
+        [
+          tc "sink events reproduce the digest chain"
+            test_driver_sink_matches_digest_chain;
         ] );
       ( "statuses",
         [

@@ -84,6 +84,59 @@ let test_parse_expected_skips_noise () =
     [ ("name1", "abc"); ("name2", "def") ]
     pairs
 
+(* The binary-trace oracle: for every fixture, the JSONL re-emitted
+   from a decoded binary trace must be byte-identical to the JSONL the
+   same run writes directly.  This is what lets the binary fast path
+   keep the JSONL digests as the golden values. *)
+let test_binary_decode_byte_identical () =
+  let dir = Filename.temp_file "golden_bin" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      List.iter
+        (fun (f : Golden.fixture) ->
+          let events = Golden.events f in
+          let jsonl_path = Filename.concat dir (f.name ^ ".jsonl") in
+          let bin_path = Filename.concat dir (f.name ^ ".bin") in
+          let write sink =
+            List.iter (Obs.Sink.emit sink) events;
+            Obs.Sink.close sink
+          in
+          write (Obs.Sink.jsonl_file jsonl_path);
+          write (Obs.Sink.binary_file bin_path);
+          (* decode the binary file back to JSONL, as `trace decode` does *)
+          let decoded = Buffer.create 4096 in
+          let ic = open_in_bin bin_path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let r = Obs.Binary.open_reader ic in
+              let rec loop () =
+                match Obs.Binary.input r with
+                | Some ev ->
+                    Buffer.add_string decoded (Obs.Event.to_json ev);
+                    Buffer.add_char decoded '\n';
+                    loop ()
+                | None -> ()
+              in
+              loop ());
+          Alcotest.(check string)
+            (f.name ^ ": decoded binary = direct JSONL bytes")
+            (read_file jsonl_path)
+            (Buffer.contents decoded);
+          (* and both digests name the same canonical JSONL value *)
+          Alcotest.(check string)
+            (f.name ^ ": file digest agrees")
+            (Golden.digest f)
+            (Obs.Trace_digest.of_file jsonl_path))
+        Golden.fixtures)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "golden"
@@ -100,4 +153,6 @@ let () =
           tc "canonical trace nonempty" test_canonical_trace_nonempty;
           tc "find and line format" test_find_and_digest_line;
         ] );
+      ( "binary-oracle",
+        [ tc "decode byte-identical" test_binary_decode_byte_identical ] );
     ]

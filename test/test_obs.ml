@@ -116,6 +116,169 @@ let test_jsonl_file_digest_matches_events () =
         (Obs.Trace_digest.of_events events)
         (Obs.Trace_digest.of_file path))
 
+(* --- binary codec --- *)
+
+let all_constructor_events =
+  [
+    ev_sent ~time:1.5 ~src:0 ~dst:3 ~withdraw:false;
+    Obs.Event.Update_recv { time = 2.; node = 3; from = 0; withdraw = true };
+    Obs.Event.Originate { time = 0.; node = 7 };
+    Obs.Event.Withdrawal { time = 0.125; node = 2 };
+    Obs.Event.Fib_change { time = 0.25; node = 1; next_hop = None };
+    Obs.Event.Fib_change { time = 0.25; node = 1; next_hop = Some 4 };
+    Obs.Event.Mrai_fire { time = 30.000000000001; node = 5; peer = 6 };
+    Obs.Event.Node_busy { time = 3.5; node = 2; depth = 9 };
+    Obs.Event.Link_state { time = 4.; a = 1; b = 2; up = false };
+    Obs.Event.Msg_dropped { time = 5.; a = 2; b = 3; reason = Obs.Event.Loss };
+    Obs.Event.Loop_detected { time = 6.; members = []; trigger = 0 };
+    Obs.Event.Loop_resolved { time = 7.; members = List.init 300 Fun.id };
+  ]
+
+let test_binary_roundtrip_all_constructors () =
+  List.iter
+    (fun e ->
+      let s = Obs.Binary.encode_string e in
+      let e', stop = Obs.Binary.decode s ~pos:0 in
+      Alcotest.(check bool) "event round-trips" true (e' = e);
+      Alcotest.(check int) "frame fully consumed" (String.length s) stop)
+    all_constructor_events;
+  (* a whole stream, header included *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf Obs.Binary.header;
+  List.iter (Obs.Binary.encode buf) all_constructor_events;
+  Alcotest.(check bool) "stream round-trips" true
+    (Obs.Binary.decode_all (Buffer.contents buf) = all_constructor_events)
+
+let test_binary_rejects_corruption () =
+  let fails f = try ignore (f ()); false with Failure _ -> true in
+  Alcotest.(check bool) "foreign bytes" true
+    (fails (fun () -> Obs.Binary.decode_all "not a trace at all"));
+  Alcotest.(check bool) "short header" true
+    (fails (fun () -> Obs.Binary.decode_all "BGP"));
+  let future = "BGPTRACE\042" in
+  Alcotest.(check bool) "unknown version" true
+    (fails (fun () -> Obs.Binary.decode_all future));
+  let frame = Obs.Binary.encode_string (List.hd all_constructor_events) in
+  let truncated =
+    Obs.Binary.header ^ String.sub frame 0 (String.length frame - 1)
+  in
+  Alcotest.(check bool) "truncated frame" true
+    (fails (fun () -> Obs.Binary.decode_all truncated))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_binary_file_sink_roundtrip () =
+  let path = Filename.temp_file "obs_test" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Obs.Sink.binary_file path in
+      List.iter (Obs.Sink.emit sink) all_constructor_events;
+      Obs.Sink.close sink;
+      (* bulk decode of the file bytes *)
+      let bytes = read_file path in
+      Alcotest.(check bool) "file decodes to the events" true
+        (Obs.Binary.decode_all bytes = all_constructor_events);
+      (* the binary digest covers frames only, not the header *)
+      let frames =
+        String.sub bytes
+          (String.length Obs.Binary.header)
+          (String.length bytes - String.length Obs.Binary.header)
+      in
+      Alcotest.(check string) "of_events_binary = md5 of the frame bytes"
+        (Digest.to_hex (Digest.string frames))
+        (Obs.Trace_digest.of_events_binary all_constructor_events);
+      (* the incremental channel reader agrees with the bulk decoder *)
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let r = Obs.Binary.open_reader ic in
+          let rec all acc =
+            match Obs.Binary.input r with
+            | Some e -> all (e :: acc)
+            | None -> List.rev acc
+          in
+          Alcotest.(check bool) "reader yields the same events" true
+            (all [] = all_constructor_events)))
+
+(* qcheck: decode (encode e) = e over every constructor, including
+   empty/long member lists and extreme (finite) float times *)
+let gen_event =
+  let open QCheck.Gen in
+  let time =
+    oneof
+      [
+        map (fun i -> float_of_int i /. 128.) int;
+        oneofl
+          [
+            0.; -0.; 1e-308; 4.9e-324; 1.7976931348623157e308; -1.5e300;
+            30.000000000001;
+          ];
+      ]
+  in
+  let node = oneof [ small_nat; oneofl [ 0; 1; 0x7FFFFFFF; -0x80000000 ] ] in
+  let members =
+    oneof [ return []; list_size (int_range 1 300) node ]
+  in
+  let reason =
+    oneofl [ Obs.Event.Down; Obs.Event.Loss; Obs.Event.Stale_epoch ]
+  in
+  let b = bool in
+  oneof
+    [
+      map (fun (time, src, dst, withdraw) ->
+          Obs.Event.Update_sent { time; src; dst; withdraw })
+        (quad time node node b);
+      map (fun (time, node, from, withdraw) ->
+          Obs.Event.Update_recv { time; node; from; withdraw })
+        (quad time node node b);
+      map (fun (time, node) -> Obs.Event.Originate { time; node })
+        (pair time node);
+      map (fun (time, node) -> Obs.Event.Withdrawal { time; node })
+        (pair time node);
+      map (fun (time, node, next_hop) ->
+          Obs.Event.Fib_change { time; node; next_hop })
+        (triple time node (option node));
+      map (fun (time, node, peer) -> Obs.Event.Mrai_fire { time; node; peer })
+        (triple time node node);
+      map (fun (time, node, depth) -> Obs.Event.Node_busy { time; node; depth })
+        (triple time node node);
+      map (fun (time, a, b', up) -> Obs.Event.Link_state { time; a; b = b'; up })
+        (quad time node node b);
+      map (fun (time, a, b', reason) ->
+          Obs.Event.Msg_dropped { time; a; b = b'; reason })
+        (quad time node node reason);
+      map (fun (time, members, trigger) ->
+          Obs.Event.Loop_detected { time; members; trigger })
+        (triple time members node);
+      map (fun (time, members) -> Obs.Event.Loop_resolved { time; members })
+        (pair time members);
+    ]
+
+let arb_event =
+  QCheck.make ~print:(fun e -> Obs.Event.to_json e) gen_event
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"binary decode (encode e) = e" arb_event
+    (fun e ->
+      let s = Obs.Binary.encode_string e in
+      let e', stop = Obs.Binary.decode s ~pos:0 in
+      e' = e && stop = String.length s)
+
+let prop_binary_stream_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"binary stream decode_all round-trip"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 40) arb_event)
+    (fun events ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf Obs.Binary.header;
+      List.iter (Obs.Binary.encode buf) events;
+      Obs.Binary.decode_all (Buffer.contents buf) = events)
+
 (* --- bus --- *)
 
 let test_bus_off_is_inert () =
@@ -415,6 +578,14 @@ let () =
           tc "ring counts drops" test_ring_sink_counts_drops;
           tc "tee duplicates" test_tee_sink;
           tc "jsonl file digest" test_jsonl_file_digest_matches_events;
+        ] );
+      ( "binary",
+        [
+          tc "round-trip all constructors" test_binary_roundtrip_all_constructors;
+          tc "rejects corruption" test_binary_rejects_corruption;
+          tc "file sink round-trip" test_binary_file_sink_roundtrip;
+          QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+          QCheck_alcotest.to_alcotest prop_binary_stream_roundtrip;
         ] );
       ( "bus",
         [
