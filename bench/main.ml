@@ -991,6 +991,111 @@ let churn_group ~smoke ~digest () =
   say "";
   r.Churn.Driver.events_executed
 
+(* --- full-mesh multi-prefix workload (ROADMAP item 2) ---
+
+   Every AS on internet-110 originates its own prefix — 110 RIB shards
+   per speaker keyed by packed (prefix_id, peer), one batched MRAI
+   timer per peer — over one arena and one event stream.  After the
+   shared warm-up the min-degree stub's prefix is withdrawn while 30
+   background origins flap for 20 cycles, so each seed drives millions
+   of engine events through the per-prefix decision process
+   (EXPERIMENTS.md §"Full-mesh workload"). *)
+
+let mesh_seeds = [ 1; 2; 3 ]
+
+let mesh_group ~smoke () =
+  let n = if smoke then 20 else 110 in
+  let graph = Topo.Internet.generate ~seed:1 n in
+  let victim = List.hd (Topo.Graph.min_degree_nodes graph) in
+  let flappers =
+    (* 30 deterministic background flappers (origin index = node id) *)
+    List.filter (fun i -> i <> victim) (List.init n Fun.id)
+    |> List.filteri (fun i _ -> i < if smoke then 4 else 30)
+  in
+  let churn =
+    {
+      Bgp.Mesh_sim.period = 60.;
+      cycles = (if smoke then 2 else 20);
+      flappers;
+    }
+  in
+  say
+    "=== Mesh: full-mesh T_down + background flaps on internet-%d (%d \
+     prefixes, seeds {%s}) ===@."
+    n n
+    (String.concat "," (List.map string_of_int mesh_seeds));
+  let cells =
+    List.map
+      (fun seed ->
+        let before = Gc.quick_stat () in
+        let t0 = Unix.gettimeofday () in
+        let o = Bgp.Mesh_sim.run ~churn ~graph ~victim ~seed () in
+        let wall = Unix.gettimeofday () -. t0 in
+        let after = Gc.quick_stat () in
+        let alloc_words =
+          after.Gc.minor_words +. after.Gc.major_words
+          -. after.Gc.promoted_words
+          -. (before.Gc.minor_words +. before.Gc.major_words
+             -. before.Gc.promoted_words)
+        in
+        (seed, o, wall, alloc_words, after.Gc.top_heap_words))
+      mesh_seeds
+  in
+  let rows =
+    List.map
+      (fun (seed, (o : Bgp.Mesh_sim.outcome), wall, alloc_words, top_heap) ->
+        let until = o.victim_convergence_end in
+        let loops, loop_s =
+          List.fold_left
+            (fun (c, s) (_, r) ->
+              let a = Loopscan.Scanner.aggregate r ~until in
+              (c + a.count, s +. a.total_loop_seconds))
+            (0, 0.) o.loop_reports
+        in
+        [
+          string_of_int seed;
+          string_of_int (List.length o.prefixes);
+          string_of_int o.events_executed;
+          Printf.sprintf "%.3f" wall;
+          (if wall > 0. then
+             Printf.sprintf "%.0f" (float_of_int o.events_executed /. wall)
+           else "-");
+          Report.float_cell (Bgp.Mesh_sim.convergence_time o);
+          (if o.converged then "yes" else "NO");
+          string_of_int loops;
+          Printf.sprintf "%.1f" loop_s;
+          Printf.sprintf "%.1f" (alloc_words /. 1e6);
+          Printf.sprintf "%.1f" (float_of_int top_heap /. 1e6);
+          string_of_int o.paths_interned;
+        ])
+      cells
+  in
+  print_string
+    (Report.table
+       ~title:
+         (if smoke then "mesh smoke (internet-20, 4 flappers, 2 cycles)"
+          else "mesh: internet-110 x 110 prefixes, 30 flappers x 20 cycles")
+       ~header:
+         [
+           "seed"; "prefixes"; "events"; "wall(s)"; "ev/s"; "conv(s)";
+           "conv?"; "loops"; "loop-s"; "alloc-Mw"; "heap-Mw"; "paths";
+         ]
+       ~rows);
+  say "";
+  (match
+     List.filter (fun (_, (o : Bgp.Mesh_sim.outcome), _, _, _) -> not o.converged) cells
+   with
+  | [] -> ()
+  | bad ->
+      say "NON-CONVERGED seeds: %s"
+        (String.concat ", "
+           (List.map (fun (s, _, _, _, _) -> string_of_int s) bad));
+      exit 1);
+  List.fold_left
+    (fun acc (_, (o : Bgp.Mesh_sim.outcome), _, _, _) ->
+      acc + o.events_executed)
+    0 cells
+
 (* --- observability counter registries (DESIGN.md §10) --- *)
 
 let counters_group ~pool =
@@ -1165,28 +1270,54 @@ type group_report = {
 (* speedup group's sequential/parallel timings, when it ran *)
 let speedup_times : (float * float) option ref = ref None
 
+(* Per-group warm-up, run before the driver snapshots Gc stats and
+   starts the wall clock: one small representative simulation that
+   settles allocator and code-path ramp-up, so a group's recorded
+   alloc_words/peak_heap_words delta covers only the measured
+   iterations.  (Without this the first group of a bench invocation
+   absorbed all the one-time warm-up allocation into its numbers.)
+   The single-prefix warm-up covers every classic group; the mesh
+   group warms the multi-prefix path instead — its per-prefix RIB
+   shards and batched MRAI allocate on different code paths. *)
+let warm_single () =
+  ignore
+    (Bgp.Routing_sim.run
+       ~graph:(Topo.Generators.clique 5)
+       ~origin:0 ~event:Bgp.Routing_sim.Tdown ~seed:1 ()
+      : Bgp.Routing_sim.outcome)
+
+let warm_mesh () =
+  ignore
+    (Bgp.Mesh_sim.run
+       ~graph:(Topo.Generators.clique 5)
+       ~victim:0 ~seed:1 ()
+      : Bgp.Mesh_sim.outcome)
+
 let groups =
   [
-    ("fig4", fun ~pool -> fig4_6 ~pool);
-    ("fig5", fun ~pool -> fig5_7 ~pool);
-    ("fig8", fun ~pool -> fig8 ~pool);
-    ("fig9", fun ~pool -> fig9 ~pool);
+    ("fig4", (warm_single, fun ~pool -> fig4_6 ~pool));
+    ("fig5", (warm_single, fun ~pool -> fig5_7 ~pool));
+    ("fig8", (warm_single, fun ~pool -> fig8 ~pool));
+    ("fig9", (warm_single, fun ~pool -> fig9 ~pool));
     ( "speedup",
-      fun ~pool ->
-        let events, times = speedup ~pool in
-        speedup_times := Some times;
-        events );
-    ("ablations", fun ~pool:_ -> ablations (); 0);
-    ("provenance", fun ~pool:_ -> provenance (); 0);
-    ("damping", fun ~pool:_ -> damping (); 0);
-    ("interference", fun ~pool:_ -> interference (); 0);
-    ("counters", fun ~pool -> counters_group ~pool);
-    ("scale", fun ~pool -> scale_group ~pool ~smoke:false ());
-    ("scale-smoke", fun ~pool -> scale_group ~pool ~smoke:true ());
-    ("churn", fun ~pool:_ -> churn_group ~smoke:false ~digest:false ());
-    ("churn-digest", fun ~pool:_ -> churn_group ~smoke:false ~digest:true ());
-    ("churn-smoke", fun ~pool:_ -> churn_group ~smoke:true ~digest:false ());
-    ("micro", fun ~pool:_ -> micro (); 0);
+      ( warm_single,
+        fun ~pool ->
+          let events, times = speedup ~pool in
+          speedup_times := Some times;
+          events ) );
+    ("ablations", (warm_single, fun ~pool:_ -> ablations (); 0));
+    ("provenance", (warm_single, fun ~pool:_ -> provenance (); 0));
+    ("damping", (warm_single, fun ~pool:_ -> damping (); 0));
+    ("interference", (warm_single, fun ~pool:_ -> interference (); 0));
+    ("counters", (warm_single, fun ~pool -> counters_group ~pool));
+    ("scale", (warm_single, fun ~pool -> scale_group ~pool ~smoke:false ()));
+    ("scale-smoke", (warm_single, fun ~pool -> scale_group ~pool ~smoke:true ()));
+    ("churn", (warm_single, fun ~pool:_ -> churn_group ~smoke:false ~digest:false ()));
+    ("churn-digest", (warm_single, fun ~pool:_ -> churn_group ~smoke:false ~digest:true ()));
+    ("churn-smoke", (warm_single, fun ~pool:_ -> churn_group ~smoke:true ~digest:false ()));
+    ("mesh", (warm_mesh, fun ~pool:_ -> mesh_group ~smoke:false ()));
+    ("mesh-smoke", (warm_mesh, fun ~pool:_ -> mesh_group ~smoke:true ()));
+    ("micro", (warm_single, fun ~pool:_ -> micro (); 0));
   ]
 
 let git_revision () =
@@ -1297,10 +1428,13 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name groups with
-      | Some f ->
+      | Some (warm, f) ->
           (* per-group allocation/heap sample on the main domain; pooled
              groups allocate in their workers too, so this is a floor,
-             not a total (EXPERIMENTS.md §"Bench perf records") *)
+             not a total (EXPERIMENTS.md §"Bench perf records").  The
+             warm-up run happens before the snapshot so its allocations
+             never count against the group. *)
+          warm ();
           let before = Gc.quick_stat () in
           let t0 = Unix.gettimeofday () in
           let events = f ~pool in

@@ -270,10 +270,92 @@ let profile_flag =
           "Profile the event engine: per-event-tag wall-clock totals and \
            histograms, merged across all seeds/workers.")
 
+let mesh_flag =
+  Arg.(
+    value & flag
+    & info [ "mesh" ]
+        ~doc:
+          "Full-mesh multi-prefix mode: every node originates its own prefix \
+           over one shared event stream, and the resolved origin's prefix is \
+           withdrawn after warm-up ($(b,--event)/$(b,--scenario) are \
+           ignored).  Prints one row per seed; $(b,--trace) records the \
+           per-prefix-tagged trace of the first seed.")
+
+(* One full-mesh run per seed, sequentially (the runs share nothing, but
+   mesh rows report wall-clock throughput, so no --jobs overlap). *)
+let run_mesh ~(spec : Bgpsim.Experiment.spec) ~seeds:seedl ~trace_file
+    ~trace_format =
+  let graph, victim, _event = Bgpsim.Experiment.resolve spec in
+  let config =
+    Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement
+  in
+  let rows =
+    List.mapi
+      (fun i sd ->
+        let sink =
+          match trace_file with
+          | Some path when i = 0 -> trace_sink path trace_format
+          | Some _ | None -> Obs.Sink.null
+        in
+        let obs = Obs.Bus.create ~sink () in
+        let t0 = Unix.gettimeofday () in
+        let o =
+          Fun.protect
+            ~finally:(fun () -> Obs.Bus.close obs)
+            (fun () ->
+              Bgp.Mesh_sim.run ~config ~max_events:spec.max_events
+                ?max_vtime:spec.max_vtime ~invariants:spec.invariants ~obs
+                ~graph ~victim ~seed:sd ())
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let until = o.victim_convergence_end in
+        let loops, loop_s =
+          List.fold_left
+            (fun (c, s) (_, r) ->
+              let a = Loopscan.Scanner.aggregate r ~until in
+              (c + a.count, s +. a.total_loop_seconds))
+            (0, 0.) o.loop_reports
+        in
+        [
+          string_of_int sd;
+          string_of_int (List.length o.prefixes);
+          string_of_int o.events_executed;
+          Printf.sprintf "%.3f" wall;
+          (if wall > 0. then
+             Printf.sprintf "%.0f" (float_of_int o.events_executed /. wall)
+           else "-");
+          Bgpsim.Report.float_cell (Bgp.Mesh_sim.convergence_time o);
+          (if o.converged then "yes" else "NO");
+          string_of_int o.victim_messages;
+          string_of_int o.background_messages;
+          string_of_int loops;
+          Printf.sprintf "%.1f" loop_s;
+        ])
+      seedl
+  in
+  print_string
+    (Bgpsim.Report.table
+       ~title:
+         (Printf.sprintf "full mesh: %d prefixes on %s, victim %d"
+            (Topo.Graph.n_nodes graph)
+            (Bgpsim.Experiment.topology_name spec.topology)
+            victim)
+       ~header:
+         [
+           "seed"; "prefixes"; "events"; "wall(s)"; "ev/s"; "conv(s)";
+           "conv?"; "victim-msg"; "bg-msg"; "loops"; "loop-s";
+         ]
+       ~rows);
+  match trace_file with
+  | Some path when Sys.file_exists path ->
+      Format.printf "@.trace %s  digest %s@." path
+        (trace_jsonl_digest path trace_format)
+  | Some _ | None -> ()
+
 let run_cmd =
   let action topology event scenario invariants max_events max_vtime preflight
       enhancement mrai seed seeds jobs trace_file trace_format counters profile
-      =
+      mesh =
     let spec =
       spec_of ?scenario ~invariants ~max_events ?max_vtime ~preflight topology
         event enhancement mrai seed
@@ -281,11 +363,14 @@ let run_cmd =
     let seedl = seed_list ~seed ~seeds in
     Format.printf "%s  event=%s  enhancement=%a  mrai=%gs  seeds=%d@."
       (Bgpsim.Experiment.topology_name topology)
-      (event_name spec.event) Bgp.Enhancement.pp enhancement mrai seeds;
+      (if mesh then "mesh" else event_name spec.event)
+      Bgp.Enhancement.pp enhancement mrai seeds;
     if preflight <> Analysis.Preflight.Off then
       Format.printf "@.%a@." Analysis.Preflight.pp
         (Bgpsim.Experiment.analyze spec);
-    if trace_file = None && not (counters || profile) then begin
+    if mesh then
+      run_mesh ~spec ~seeds:seedl ~trace_file ~trace_format
+    else if trace_file = None && not (counters || profile) then begin
       let robust = Bgpsim.Sweep.over_seeds_robust ~jobs spec ~seeds:seedl in
       (match robust.metrics with
       | Some m -> Format.printf "@.%a@." Metrics.Run_metrics.pp m
@@ -351,7 +436,7 @@ let run_cmd =
       const action $ topology_arg $ event_arg $ scenario_arg $ invariants_arg
       $ max_events_arg $ max_vtime_arg $ preflight_arg $ enhancement_arg
       $ mrai_arg $ seed_arg $ seeds_arg $ jobs_arg $ trace_file_arg
-      $ trace_format_arg $ counters_flag $ profile_flag)
+      $ trace_format_arg $ counters_flag $ profile_flag $ mesh_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one failure scenario and print its metrics")
@@ -518,20 +603,22 @@ let golden_cmd =
         close_in ic;
         let expected = Bgpsim.Golden.parse_expected text in
         let bad = ref 0 in
+        let check name got =
+          match List.assoc_opt name expected with
+          | Some want when String.equal want got ->
+              Printf.printf "ok   %s %s\n" name got
+          | Some want ->
+              incr bad;
+              Printf.printf "FAIL %s expected %s got %s\n" name want got
+          | None ->
+              incr bad;
+              Printf.printf "FAIL %s missing from %s (got %s)\n" name path got
+        in
         List.iter
           (fun (f : Bgpsim.Golden.fixture) ->
-            let got = Bgpsim.Golden.digest f in
-            match List.assoc_opt f.name expected with
-            | Some want when String.equal want got ->
-                Printf.printf "ok   %s %s\n" f.name got
-            | Some want ->
-                incr bad;
-                Printf.printf "FAIL %s expected %s got %s\n" f.name want got
-            | None ->
-                incr bad;
-                Printf.printf "FAIL %s missing from %s (got %s)\n" f.name path
-                  got)
+            check f.name (Bgpsim.Golden.digest f))
           Bgpsim.Golden.fixtures;
+        check Bgpsim.Golden.mesh_name (Bgpsim.Golden.mesh_digest ());
         if !bad > 0 then exit 1
   in
   let term = Term.(const action $ check_arg) in
@@ -632,6 +719,121 @@ let run_scale_preset ~sizes ~preflight ~enhancement ~mrai ~seeds:seedl =
          ]
        ~rows)
 
+(* The mesh preset (EXPERIMENTS.md §"Full-mesh recipe"): full-mesh
+   multi-prefix workloads on internet-like graphs — every node
+   originates its own prefix and the min-degree stub's prefix is
+   withdrawn after warm-up.  CI's mesh-smoke step runs this at small
+   sizes; the bench `mesh` group records the internet-110 point. *)
+let mesh_preset_sizes = [ 10; 20; 29; 48 ]
+
+let run_mesh_preset ~sizes ~preflight ~enhancement ~mrai ~seeds:seedl =
+  let cell (spec : Bgpsim.Experiment.spec) =
+    let graph, victim, _event = Bgpsim.Experiment.resolve spec in
+    let config =
+      Bgp.Config.of_enhancement ~mrai:spec.mrai spec.enhancement
+    in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Bgp.Mesh_sim.run ~config ~max_events:spec.max_events ~graph ~victim
+        ~seed:spec.seed ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (o, wall, (Gc.quick_stat ()).top_heap_words)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let specs =
+          List.map
+            (fun seed ->
+              spec_of ~preflight ~max_events:40_000_000
+                (Bgpsim.Experiment.Internet n) Bgpsim.Experiment.Tdown
+                enhancement mrai seed)
+            seedl
+        in
+        (* the pre-flight analyzes the victim prefix's (single-prefix)
+           scenario — policy safety and bounds carry over per prefix *)
+        (match specs with
+        | s :: _ when preflight <> Analysis.Preflight.Off ->
+            Format.printf "== internet:%d ==@.%a@.@." n Analysis.Preflight.pp
+              (Bgpsim.Experiment.analyze s)
+        | _ -> ());
+        let cells = List.map cell specs in
+        let events =
+          List.fold_left
+            (fun a ((o : Bgp.Mesh_sim.outcome), _, _) -> a + o.events_executed)
+            0 cells
+        in
+        let wall = List.fold_left (fun a (_, w, _) -> a +. w) 0. cells in
+        let conv =
+          List.fold_left
+            (fun a (o, _, _) -> a +. Bgp.Mesh_sim.convergence_time o)
+            0. cells
+          /. float_of_int (List.length cells)
+        in
+        let converged =
+          List.for_all
+            (fun ((o : Bgp.Mesh_sim.outcome), _, _) -> o.converged)
+            cells
+        in
+        let loops, loop_s =
+          List.fold_left
+            (fun acc ((o : Bgp.Mesh_sim.outcome), _, _) ->
+              List.fold_left
+                (fun (c, s) (_, r) ->
+                  let a =
+                    Loopscan.Scanner.aggregate r
+                      ~until:o.victim_convergence_end
+                  in
+                  (c + a.count, s +. a.total_loop_seconds))
+                acc o.loop_reports)
+            (0, 0.) cells
+        in
+        let heap =
+          List.fold_left (fun a (_, _, h) -> Stdlib.max a h) 0 cells
+        in
+        let paths =
+          List.fold_left
+            (fun a ((o : Bgp.Mesh_sim.outcome), _, _) ->
+              Stdlib.max a o.paths_interned)
+            0 cells
+        in
+        let prefixes =
+          match cells with
+          | ((o : Bgp.Mesh_sim.outcome), _, _) :: _ ->
+              List.length o.prefixes
+          | [] -> 0
+        in
+        [
+          string_of_int n;
+          string_of_int prefixes;
+          string_of_int events;
+          Printf.sprintf "%.3f" wall;
+          (if wall > 0. then
+             Printf.sprintf "%.0f" (float_of_int events /. wall)
+           else "-");
+          Bgpsim.Report.float_cell conv;
+          (if converged then "yes" else "NO");
+          string_of_int loops;
+          Printf.sprintf "%.1f" loop_s;
+          Printf.sprintf "%.1f" (float_of_int heap /. 1e6);
+          string_of_int paths;
+        ])
+      sizes
+  in
+  print_string
+    (Bgpsim.Report.table
+       ~title:
+         (Printf.sprintf
+            "mesh preset: full-mesh T_down on internet graphs (%d seed(s))"
+            (List.length seedl))
+       ~header:
+         [
+           "n"; "prefixes"; "events"; "wall(s)"; "ev/s"; "conv(s)"; "conv?";
+           "loops"; "loop-s"; "heap-Mw"; "paths";
+         ]
+       ~rows)
+
 let sweep_cmd =
   let axis_arg =
     Arg.(
@@ -649,14 +851,17 @@ let sweep_cmd =
   let preset_arg =
     Arg.(
       value
-      & opt (some (enum [ ("scale", `Scale) ])) None
+      & opt (some (enum [ ("scale", `Scale); ("mesh", `Mesh) ])) None
       & info [ "preset" ] ~docv:"NAME"
           ~doc:
             "Named sweep preset. $(b,scale) times T_down and T_long on \
              internet-like graphs at sizes 29,48,75,110,300 (override with \
              $(b,--values)), reporting events/sec, peak heap words and \
-             arena occupancy; the timed runs are sequential, so $(b,--jobs) \
-             is ignored.")
+             arena occupancy. $(b,mesh) times full-mesh multi-prefix T_down \
+             (every node originates its own prefix) at sizes 10,20,29,48 \
+             (override with $(b,--values)), additionally reporting loop \
+             counts and loop-seconds summed over all prefixes.  Preset runs \
+             are sequential, so $(b,--jobs) is ignored.")
   in
   let family_arg =
     Arg.(
@@ -685,6 +890,14 @@ let sweep_cmd =
           | None -> scale_preset_sizes
         in
         run_scale_preset ~sizes ~preflight ~enhancement ~mrai
+          ~seeds:(seed_list ~seed ~seeds)
+    | Some `Mesh ->
+        let sizes =
+          match values with
+          | Some vs -> List.map int_of_float vs
+          | None -> mesh_preset_sizes
+        in
+        run_mesh_preset ~sizes ~preflight ~enhancement ~mrai
           ~seeds:(seed_list ~seed ~seeds)
     | None ->
     let values =
@@ -775,7 +988,8 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Sweep network size or MRAI and print the resulting series; \
-          --preset scale runs the large-topology throughput workload")
+          --preset scale runs the large-topology throughput workload and \
+          --preset mesh the full-mesh multi-prefix one")
     term
 
 (* --- churn --- *)

@@ -1,0 +1,77 @@
+(** Full-mesh multi-prefix simulation: every AS (by default) originates
+    its own prefix over one shared event stream.
+
+    All speakers share one path arena and one {!Prefix.Table}
+    (pre-interned in origin order, so prefix id = index into the origin
+    list), and their Adj-RIBs are sharded by packed [(prefix_id, peer)]
+    keys with one batched MRAI timer per peer — the workload the
+    single-prefix study cannot express: N² routing processes contending
+    for the same per-router queues.
+
+    Observability is per prefix: [Update_sent]/[Update_recv]/
+    [Originate]/[Withdrawal]/[Fib_change] events carry the prefix id,
+    and a streaming loop scanner per prefix (armed on the converged
+    warm-up state) emits [Loop_detected]/[Loop_resolved] events
+    chronologically interleaved with the forwarding changes that caused
+    them.
+
+    Restricted to a single origin, a run evolves identically to
+    {!Multi_sim} — same RNG stream, same event schedule, same FIB
+    histories and convergence numbers; the differential suite in
+    test/test_mesh.ml enforces this. *)
+
+type churn = Multi_sim.churn = {
+  period : float;
+  cycles : int;
+  flappers : int list;
+}
+
+type outcome = {
+  prefixes : (Prefix.t * Netcore.Fib_history.t) list;
+      (** one forwarding history per prefix, in origin order (so the
+          list index is the prefix id used in trace events) *)
+  loop_reports : (Prefix.t * Loopscan.Scanner.report) list;
+      (** per-prefix streaming loop scans over the post-warm-up phase;
+          empty when the warm-up blew its event budget (the scanners
+          need a loop-free converged state to start from) *)
+  trace : Netcore.Trace.t;
+      (** message/process/link logs (all prefixes combined); its FIB
+          history is unused — per-prefix histories are above *)
+  t_fail : float;
+  victim : Prefix.t;
+  victim_convergence_end : float;
+      (** last send of a message for the victim prefix at/after
+          [t_fail] *)
+  victim_messages : int;
+  background_messages : int;
+  converged : bool;
+  termination : Routing_sim.termination;
+      (** how the post-failure phase ended *)
+  invariant_violations : (Faults.Invariant.kind * int) list;
+  paths_interned : int;
+  events_executed : int;  (** engine events over both phases *)
+}
+
+val convergence_time : outcome -> float
+
+val run :
+  ?params:Netcore.Params.t ->
+  ?config:Config.t ->
+  ?churn:churn ->
+  ?origins:int list ->
+  ?max_events:int ->
+  ?max_vtime:float ->
+  ?invariants:Faults.Invariant.mode ->
+  ?obs:Obs.Bus.t ->
+  graph:Topo.Graph.t ->
+  victim:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** [run ~graph ~victim ~seed ()] originates one prefix per origin
+    (default: every node), converges, then withdraws the prefix of
+    [origins[victim]].  With [churn], the listed origins flap for the
+    configured number of cycles starting at the failure time.
+    @raise Invalid_argument on an empty or out-of-range
+    [origins]/[victim], duplicate origins, a flapper index equal to
+    [victim], a disconnected graph, or non-positive budgets. *)

@@ -1,30 +1,40 @@
 (** Minimum Route Advertisement Interval rate limiter, one instance per
-    (neighbor, destination) pair as in the paper's simulations.
+    neighbor with rate-limit state sharded per destination key — the
+    paper's per-(neighbor, destination) model, with one {e physical}
+    engine timer per limiter instead of one per destination.
 
-    State machine: when the timer is idle, an {!offer}ed message is
-    transmitted immediately and the timer starts; while it runs, offered
-    messages replace the pending one; on expiry the pending message (if
-    any) is transmitted and the timer restarts.  The timer only restarts
-    when the transmit callback reports that something actually went out
-    (duplicate announcements are suppressed by the caller and must not
-    hold the timer).
+    Each key runs its own interval: a key whose interval is idle
+    transmits an {!offer}ed message immediately (another key's running
+    interval never delays it) and starts its interval; while a key's
+    interval runs, offered messages are held for that key (replacing
+    its pending message in [Collapse] mode).  The shared timer sits at
+    the earliest deadline; on expiry {e every} expired key releases at
+    most one message — keys visited in interval-start order — and each
+    key that actually released re-arms its own interval.  A key only
+    stays rate-limited when the transmit callback reports something
+    left (duplicate announcements are suppressed by the caller and
+    must not hold an interval).
 
-    {!send_now} bypasses the timer entirely — RFC 1771 withdrawals and
-    Ghost Flushing's flush withdrawals — without restarting it. *)
+    With a single key this is exactly the historical per-(neighbor,
+    destination) limiter — same transmit points, same jitter draws,
+    same fire times; golden traces rely on that equivalence.
+
+    {!send_now} bypasses the interval entirely — RFC 1771 withdrawals
+    and Ghost Flushing's flush withdrawals — without touching it. *)
 
 type 'msg t
 
 type mode =
   | Collapse
-      (** only the latest offered message is pending; superseded states
-          are never transmitted (our best reading of the MRAI's
+      (** only the latest offered message per key is pending; superseded
+          states are never transmitted (our best reading of the MRAI's
           intent, and the default) *)
   | Fifo
-      (** offered messages queue up and drain one per timer expiry, so
-          stale intermediate states still reach the peer.  Provided as
-          an ablation: some BGP implementations buffer updates rather
-          than collapsing them, which lengthens inconsistency windows
-          (see EXPERIMENTS.md on WRATE). *)
+      (** offered messages queue up per key and drain one per timer
+          expiry, so stale intermediate states still reach the peer.
+          Provided as an ablation: some BGP implementations buffer
+          updates rather than collapsing them, which lengthens
+          inconsistency windows (see EXPERIMENTS.md on WRATE). *)
 
 val create :
   ?mode:mode ->
@@ -35,27 +45,35 @@ val create :
   unit ->
   'msg t
 (** [transmit] performs the actual send and returns whether a message
-    really left (false = suppressed duplicate).  [on_fire] is invoked
-    at the start of each timer expiry, before any pending message is
-    transmitted (observability hook).  [mode] defaults to [Collapse]. *)
+    really left (false = suppressed duplicate).  [draw_interval] is
+    drawn once per interval start, per key.  [on_fire] is invoked at
+    the start of each physical timer expiry, before any pending
+    message is transmitted (observability hook); batching means one
+    expiry may release several keys.  [mode] defaults to [Collapse]. *)
 
-val offer : 'msg t -> 'msg -> unit
-(** Rate-limited send. *)
+val offer : ?key:int -> 'msg t -> 'msg -> unit
+(** Rate-limited send for destination [key] (default [0]). *)
 
-val send_now : 'msg t -> keep_pending:bool -> 'msg -> unit
-(** Immediate send, ignoring and not restarting the timer.
-    [keep_pending:false] also discards any pending message (it is
+val send_now : ?key:int -> 'msg t -> keep_pending:bool -> 'msg -> unit
+(** Immediate send, ignoring and not re-arming [key]'s interval.
+    [keep_pending:false] also discards [key]'s pending message (it is
     superseded, e.g. by a plain withdrawal); [keep_pending:true] leaves
     it to go out on expiry (Ghost Flushing: the flush withdrawal
-    precedes the still-scheduled announcement). *)
+    precedes the still-scheduled announcement).  Other keys' pending
+    state is never touched. *)
 
 val timer_running : _ t -> bool
+(** Whether the shared physical timer is scheduled, i.e. at least one
+    key's interval is running. *)
 
 val pending : 'msg t -> 'msg option
-(** The next message the timer will release ([Fifo]: the queue head). *)
+(** The next message an expiry will release: the head of the first
+    pending key's queue in fire order. *)
 
 val pending_count : _ t -> int
-(** [Collapse]: 0 or 1; [Fifo]: the queue length. *)
+(** Total over all keys ([Collapse]: at most one per key; [Fifo]: the
+    queue lengths). *)
 
 val reset : _ t -> unit
-(** Session teardown: cancels the timer and drops pending state. *)
+(** Session teardown: cancels the timer and drops all rate-limit
+    state. *)

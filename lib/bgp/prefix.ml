@@ -16,3 +16,74 @@ let hash = Hashtbl.hash
 let pp fmt t =
   if t.index = 0 then Format.fprintf fmt "p%d" t.origin
   else Format.fprintf fmt "p%d.%d" t.origin t.index
+
+(* Dense prefix-id interning, mirroring the As_path.Table arena: a
+   simulation shares one table across all speakers so a prefix has one
+   id everywhere — ids then pack with peer numbers into single-int RIB
+   shard keys, and appear as the "pfx" field of per-prefix trace
+   events. *)
+module Table = struct
+  type prefix = t
+
+  type nonrec t = {
+    ids : (prefix, int) Hashtbl.t;
+    mutable rev : prefix array;  (* id -> prefix; length >= size *)
+    mutable size : int;
+  }
+
+  let dummy = { origin = 0; index = 0 }
+
+  let create ?(capacity = 16) () =
+    if capacity <= 0 then invalid_arg "Prefix.Table.create: capacity <= 0";
+    { ids = Hashtbl.create capacity; rev = Array.make capacity dummy; size = 0 }
+
+  let size t = t.size
+
+  let id t p =
+    match Hashtbl.find t.ids p with
+    | i -> i
+    | exception Not_found ->
+        let i = t.size in
+        Hashtbl.add t.ids p i;
+        if i >= Array.length t.rev then begin
+          let bigger = Array.make (2 * Array.length t.rev) dummy in
+          Array.blit t.rev 0 bigger 0 i;
+          t.rev <- bigger
+        end;
+        t.rev.(i) <- p;
+        t.size <- i + 1;
+        i
+
+  let find t p = Hashtbl.find_opt t.ids p
+
+  let prefix_of t i =
+    if i < 0 || i >= t.size then
+      invalid_arg (Printf.sprintf "Prefix.Table.prefix_of: unknown id %d" i);
+    t.rev.(i)
+
+  let iter f t =
+    for i = 0 to t.size - 1 do
+      f i t.rev.(i)
+    done
+end
+
+(* Packed (prefix_id, peer) shard keys: one immediate int, so the flat
+   Adj-RIB-In/Out tables hash and compare without boxing.  Peer numbers
+   take the low 20 bits (the arena memo keys in As_path use the same
+   split); prefix ids get the rest of the 63-bit int, so the packing is
+   injective over the full supported ranges. *)
+module Key = struct
+  let peer_bits = 20
+  let max_peer = (1 lsl peer_bits) - 1
+  let max_id = (max_int lsr peer_bits) - 1
+
+  let pack ~id ~peer =
+    if peer < 0 || peer > max_peer then
+      invalid_arg (Printf.sprintf "Prefix.Key.pack: peer %d out of range" peer);
+    if id < 0 || id > max_id then
+      invalid_arg (Printf.sprintf "Prefix.Key.pack: id %d out of range" id);
+    (id lsl peer_bits) lor peer
+
+  let id key = key lsr peer_bits
+  let peer key = key land max_peer
+end

@@ -1,16 +1,20 @@
-type out_state = {
-  mrai : Msg.t Mrai.t;
-  advertised : As_path.t option ref;
-}
+(* Per-peer out state: one batched MRAI limiter covering every prefix
+   toward that peer (pending state sharded inside the limiter by
+   packed key), so a speaker carrying N prefixes schedules one timer
+   per peer instead of N.  What the peer currently holds from us lives
+   in the speaker-wide flat [advertised] table. *)
+type peer_out = { mrai : Msg.t Mrai.t }
 
 type best_route = { learned_from : int option; path : As_path.t }
 
+(* Per-prefix state that does not shard by peer.  The Adj-RIB-In and
+   Adj-RIB-Out themselves live in the speaker-wide flat tables keyed by
+   the packed (prefix_id, peer) int — see [Prefix.Key]. *)
 type dest_state = {
   prefix : Prefix.t;
-  rib_in : (int, As_path.t) Hashtbl.t;
+  pid : int;  (* dense id in the speaker's prefix table *)
   mutable local : bool;
   mutable best : best_route option;
-  outs : (int, out_state) Hashtbl.t;
   damp : (int, Damping.t) Hashtbl.t;
       (* per-peer flap state; populated only when damping is configured *)
   mutable reuse_timer : Dessim.Engine.handle option;
@@ -23,17 +27,24 @@ type t = {
   rng : Dessim.Rng.t;
   checker : Faults.Invariant.t;
   obs : Obs.Bus.t;
+  prefix_obs : bool;
   mutable paths : As_path.Table.t;
+  prefixes : Prefix.Table.t;
   live_peers : Peer_table.t;
   mutable alive : bool;
   emit : peer:int -> Msg.t -> unit;
   on_next_hop_change : prefix:Prefix.t -> next_hop:int option -> unit;
-  dests : (Prefix.t, dest_state) Hashtbl.t;
+  rib_in : (int, As_path.t) Hashtbl.t;  (* packed (prefix_id, peer) *)
+  advertised : (int, As_path.t) Hashtbl.t;  (* packed (prefix_id, peer) *)
+  outs : (int, peer_out) Hashtbl.t;  (* by peer *)
+  dests : (int, dest_state) Hashtbl.t;  (* by prefix id *)
+  mutable dests_rev : dest_state list;  (* creation order, newest first *)
   mutable route_changes : int;
 }
 
-let create ?(checker = Faults.Invariant.off) ?(obs = Obs.Bus.off) ?paths
-    ~engine ~config ~rng ~node ~peers ~emit ~on_next_hop_change () =
+let create ?(checker = Faults.Invariant.off) ?(obs = Obs.Bus.off)
+    ?(prefix_obs = false) ?paths ?prefixes ~engine ~config ~rng ~node ~peers
+    ~emit ~on_next_hop_change () =
   Config.validate config;
   {
     node;
@@ -42,12 +53,19 @@ let create ?(checker = Faults.Invariant.off) ?(obs = Obs.Bus.off) ?paths
     rng;
     checker;
     obs;
+    prefix_obs;
     paths = (match paths with Some t -> t | None -> As_path.default_table ());
+    prefixes =
+      (match prefixes with Some t -> t | None -> Prefix.Table.create ());
     live_peers = Peer_table.create peers;
     alive = true;
     emit;
     on_next_hop_change;
+    rib_in = Hashtbl.create 16;
+    advertised = Hashtbl.create 16;
+    outs = Hashtbl.create 8;
     dests = Hashtbl.create 4;
+    dests_rev = [];
     route_changes = 0;
   }
 
@@ -55,24 +73,32 @@ let node t = t.node
 
 let peers t = Peer_table.to_list t.live_peers
 
+let obs_prefix t (st : dest_state) =
+  if t.prefix_obs then Some st.pid else None
+
+(* Destinations in creation order — deterministic under the engine's
+   deterministic event order, unlike iterating the hashtable. *)
+let iter_dests t f = List.iter f (List.rev t.dests_rev)
+
 let dest_state t prefix =
   (* runs once per processed message: find/Not_found over find_opt to
      keep the hit path allocation-free *)
-  match Hashtbl.find t.dests prefix with
+  let pid = Prefix.Table.id t.prefixes prefix in
+  match Hashtbl.find t.dests pid with
   | st -> st
   | exception Not_found ->
       let st =
         {
           prefix;
-          rib_in = Hashtbl.create 8;
+          pid;
           local = false;
           best = None;
-          outs = Hashtbl.create 8;
           damp = Hashtbl.create 8;
           reuse_timer = None;
         }
       in
-      Hashtbl.add t.dests prefix st;
+      Hashtbl.add t.dests pid st;
+      t.dests_rev <- st :: t.dests_rev;
       st
 
 let draw_mrai_interval t () =
@@ -80,30 +106,35 @@ let draw_mrai_interval t () =
   if m <= 0. then 0.
   else Dessim.Rng.uniform t.rng ~lo:(t.config.mrai_jitter_min *. m) ~hi:m
 
-let out_state t st peer =
-  match Hashtbl.find st.outs peer with
+let msg_key t ~peer msg =
+  Prefix.Key.pack
+    ~id:(Prefix.Table.id t.prefixes (Msg.prefix msg))
+    ~peer
+
+let out_state t peer =
+  match Hashtbl.find t.outs peer with
   | out -> out
   | exception Not_found ->
-      let advertised = ref None in
       let transmit msg =
         (* Duplicate suppression: skip messages that would not change
-           what the peer holds from us.  A suppressed message must not
-           (re)start the MRAI timer. *)
+           what the peer holds from us for this prefix.  A suppressed
+           message must not (re)start the MRAI timer. *)
+        let key = msg_key t ~peer msg in
         match (msg : Msg.t) with
         | Announce { path; _ } -> (
-            match !advertised with
+            match Hashtbl.find_opt t.advertised key with
             | Some prev when As_path.equal prev path -> false
             | Some _ | None ->
-                advertised := Some path;
+                Hashtbl.replace t.advertised key path;
                 t.emit ~peer msg;
                 true)
-        | Withdraw _ -> (
-            match !advertised with
-            | None -> false
-            | Some _ ->
-                advertised := None;
-                t.emit ~peer msg;
-                true)
+        | Withdraw _ ->
+            if Hashtbl.mem t.advertised key then begin
+              Hashtbl.remove t.advertised key;
+              t.emit ~peer msg;
+              true
+            end
+            else false
       in
       let on_fire =
         (* Only pay for the closure when the bus is live. *)
@@ -119,8 +150,8 @@ let out_state t st peer =
         Mrai.create ~mode:t.config.rate_limiter ?on_fire ~engine:t.engine
           ~draw_interval:(draw_mrai_interval t) ~transmit ()
       in
-      let out = { mrai; advertised } in
-      Hashtbl.add st.outs peer out;
+      let out = { mrai } in
+      Hashtbl.add t.outs peer out;
       out
 
 (* --- route-flap damping hooks --- *)
@@ -147,28 +178,36 @@ let peer_suppressed t st peer =
 
 (* --- decision process --- *)
 
+(* The Adj-RIB-In shard for [st] is probed per live peer (ascending,
+   via the sorted peer table) rather than folded in hashtable bucket
+   order.  Decisions cannot change from the ordering: each rib-in path
+   starts with the announcing peer's AS, so the policy preference is a
+   strict total order over candidates from distinct peers. *)
 let best_candidate t st =
   if st.local then Some { learned_from = None; path = As_path.empty }
-  else
-    let better acc cand =
-      match acc with
-      | None -> Some cand
-      | Some cur ->
-          if t.config.policy.Policy.prefer ~self:t.node cand cur < 0 then
-            Some cand
-          else acc
-    in
-    Hashtbl.fold
-      (fun peer path acc ->
-        let cand = { Policy.peer; path } in
-        if
-          t.config.policy.Policy.import_ok ~self:t.node cand
-          && not (peer_suppressed t st peer)
-        then better acc cand
-        else acc)
-      st.rib_in None
-    |> Option.map (fun (c : Policy.candidate) ->
-           { learned_from = Some c.peer; path = c.path })
+  else begin
+    let best = ref None in
+    Peer_table.iter
+      (fun peer ->
+        match Hashtbl.find t.rib_in (Prefix.Key.pack ~id:st.pid ~peer) with
+        | exception Not_found -> ()
+        | path ->
+            let cand = { Policy.peer; path } in
+            if
+              t.config.policy.Policy.import_ok ~self:t.node cand
+              && not (peer_suppressed t st peer)
+            then
+              match !best with
+              | None -> best := Some cand
+              | Some cur ->
+                  if t.config.policy.Policy.prefer ~self:t.node cand cur < 0
+                  then best := Some cand)
+      t.live_peers;
+    Option.map
+      (fun (c : Policy.candidate) ->
+        { learned_from = Some c.peer; path = c.path })
+      !best
+  end
 
 let next_hop_of = function
   | None -> None
@@ -200,8 +239,9 @@ let desired_announcement t st peer =
         else Some full
 
 let sync_peer t st peer =
-  let out = out_state t st peer in
+  let out = out_state t peer in
   let prefix = st.prefix in
+  let key = Prefix.Key.pack ~id:st.pid ~peer in
   match desired_announcement t st peer with
   | Some full ->
       (* Ghost Flushing: if the announcement is stuck behind the MRAI
@@ -209,7 +249,7 @@ let sync_peer t st peer =
          the stale (ghost) route with an immediate withdrawal; the
          announcement itself still goes out on timer expiry. *)
       let worse_than_advertised =
-        match !(out.advertised) with
+        match Hashtbl.find_opt t.advertised key with
         | Some prev -> As_path.length full > As_path.length prev
         | None -> false
       in
@@ -217,12 +257,13 @@ let sync_peer t st peer =
         t.config.ghost_flushing
         && Mrai.timer_running out.mrai
         && worse_than_advertised
-      then Mrai.send_now out.mrai ~keep_pending:true (Msg.Withdraw { prefix });
-      Mrai.offer out.mrai (Msg.Announce { prefix; path = full })
+      then
+        Mrai.send_now ~key out.mrai ~keep_pending:true (Msg.Withdraw { prefix });
+      Mrai.offer ~key out.mrai (Msg.Announce { prefix; path = full })
   | None ->
       let withdrawal = Msg.Withdraw { prefix } in
-      if t.config.wrate then Mrai.offer out.mrai withdrawal
-      else Mrai.send_now out.mrai ~keep_pending:false withdrawal
+      if t.config.wrate then Mrai.offer ~key out.mrai withdrawal
+      else Mrai.send_now ~key out.mrai ~keep_pending:false withdrawal
 
 (* Runtime invariants of the decision process, re-verified after every
    mutation when a checker is armed: the Loc-RIB best is always drawn
@@ -239,7 +280,9 @@ let check_rib_coherence t st =
               Printf.sprintf "node %d: best is local but no local route"
                 t.node)
     | Some { learned_from = Some peer; path } ->
-        (match Hashtbl.find_opt st.rib_in peer with
+        (match
+           Hashtbl.find_opt t.rib_in (Prefix.Key.pack ~id:st.pid ~peer)
+         with
         | Some rib_path when As_path.equal rib_path path -> ()
         | Some _ | None ->
             Faults.Invariant.report t.checker Faults.Invariant.Rib_incoherence
@@ -272,21 +315,24 @@ let recompute t st =
    that routes through [speaker] with a different sub-path from
    [speaker] onward is stale and removed. --- *)
 let assertion_purge t st ~speaker ~latest =
-  let stale =
-    Hashtbl.fold
-      (fun peer path acc ->
-        if peer = speaker then acc
-        else
-          match As_path.suffix_from ~table:t.paths path speaker with
-          | None -> acc
-          | Some suffix -> (
-              match latest with
-              | None -> peer :: acc
-              | Some declared ->
-                  if As_path.equal suffix declared then acc else peer :: acc))
-      st.rib_in []
-  in
-  List.iter (Hashtbl.remove st.rib_in) stale
+  let stale = ref [] in
+  Peer_table.iter
+    (fun peer ->
+      if peer <> speaker then
+        let key = Prefix.Key.pack ~id:st.pid ~peer in
+        match Hashtbl.find t.rib_in key with
+        | exception Not_found -> ()
+        | path -> (
+            match As_path.suffix_from ~table:t.paths path speaker with
+            | None -> ()
+            | Some suffix -> (
+                match latest with
+                | None -> stale := key :: !stale
+                | Some declared ->
+                    if not (As_path.equal suffix declared) then
+                      stale := key :: !stale)))
+    t.live_peers;
+  List.iter (Hashtbl.remove t.rib_in) !stale
 
 (* Suppressed routes re-enter the decision on penalty decay, not on any
    message: keep one timer per destination armed at the earliest reuse
@@ -299,7 +345,7 @@ let rec schedule_reuse t st =
       let earliest =
         Hashtbl.fold
           (fun peer d acc ->
-            if Hashtbl.mem st.rib_in peer then
+            if Hashtbl.mem t.rib_in (Prefix.Key.pack ~id:st.pid ~peer) then
               match Damping.reuse_at d ~now with
               | None -> acc
               | Some time -> (
@@ -327,6 +373,7 @@ let originate t prefix =
     let st = dest_state t prefix in
     if not st.local then begin
       Obs.Bus.originate t.obs
+        ?prefix:(obs_prefix t st)
         ~time:(Dessim.Engine.now t.engine)
         ~node:t.node;
       st.local <- true;
@@ -338,6 +385,7 @@ let withdraw_local t prefix =
     let st = dest_state t prefix in
     if st.local then begin
       Obs.Bus.local_withdraw t.obs
+        ?prefix:(obs_prefix t st)
         ~time:(Dessim.Engine.now t.engine)
         ~node:t.node;
       st.local <- false;
@@ -350,7 +398,9 @@ let withdraw_local t prefix =
    at runtime. *)
 let check_poison_reverse t st ~from =
   if Faults.Invariant.enabled t.checker then
-    match Hashtbl.find_opt st.rib_in from with
+    match
+      Hashtbl.find_opt t.rib_in (Prefix.Key.pack ~id:st.pid ~peer:from)
+    with
     | Some path when As_path.contains path t.node ->
         Faults.Invariant.report t.checker Faults.Invariant.Poison_reverse
           ~detail:(fun () ->
@@ -368,54 +418,55 @@ let handle_msg t ~from msg =
   if not (t.alive && Peer_table.mem t.live_peers from) then ()
   else
     match (msg : Msg.t) with
-  | Announce { prefix; path } ->
-      let st = dest_state t prefix in
-      if t.config.damping <> None then
-        Damping.on_update (damp_state t st from)
-          ~now:(Dessim.Engine.now t.engine);
-      (* Path-based poison reverse: a path through us is unusable; per
-         the implicit-withdraw rule it still replaces (hence removes)
-         the peer's previous entry. *)
-      if As_path.contains path t.node then Hashtbl.remove st.rib_in from
-      else Hashtbl.replace st.rib_in from path;
-      if t.config.assertion then
-        assertion_purge t st ~speaker:from ~latest:(Some path);
-      check_poison_reverse t st ~from;
-      recompute t st;
-      schedule_reuse t st
-  | Withdraw { prefix } ->
-      let st = dest_state t prefix in
-      if t.config.damping <> None then
-        Damping.on_withdrawal (damp_state t st from)
-          ~now:(Dessim.Engine.now t.engine);
-      Hashtbl.remove st.rib_in from;
-      if t.config.assertion then assertion_purge t st ~speaker:from ~latest:None;
-      recompute t st;
-      schedule_reuse t st
+    | Announce { prefix; path } ->
+        let st = dest_state t prefix in
+        let key = Prefix.Key.pack ~id:st.pid ~peer:from in
+        if t.config.damping <> None then
+          Damping.on_update (damp_state t st from)
+            ~now:(Dessim.Engine.now t.engine);
+        (* Path-based poison reverse: a path through us is unusable; per
+           the implicit-withdraw rule it still replaces (hence removes)
+           the peer's previous entry. *)
+        if As_path.contains path t.node then Hashtbl.remove t.rib_in key
+        else Hashtbl.replace t.rib_in key path;
+        if t.config.assertion then
+          assertion_purge t st ~speaker:from ~latest:(Some path);
+        check_poison_reverse t st ~from;
+        recompute t st;
+        schedule_reuse t st
+    | Withdraw { prefix } ->
+        let st = dest_state t prefix in
+        if t.config.damping <> None then
+          Damping.on_withdrawal (damp_state t st from)
+            ~now:(Dessim.Engine.now t.engine);
+        Hashtbl.remove t.rib_in (Prefix.Key.pack ~id:st.pid ~peer:from);
+        if t.config.assertion then
+          assertion_purge t st ~speaker:from ~latest:None;
+        recompute t st;
+        schedule_reuse t st
 
 let session_down t ~peer =
   if Peer_table.mem t.live_peers peer then begin
     Peer_table.remove t.live_peers peer;
-    Hashtbl.iter
-      (fun _prefix st ->
-        Hashtbl.remove st.rib_in peer;
+    (match Hashtbl.find_opt t.outs peer with
+    | Some out ->
+        Mrai.reset out.mrai;
+        Hashtbl.remove t.outs peer
+    | None -> ());
+    iter_dests t (fun st ->
+        let key = Prefix.Key.pack ~id:st.pid ~peer in
+        Hashtbl.remove t.rib_in key;
         Hashtbl.remove st.damp peer;
-        (match Hashtbl.find_opt st.outs peer with
-        | Some out ->
-            Mrai.reset out.mrai;
-            out.advertised := None;
-            Hashtbl.remove st.outs peer
-        | None -> ());
+        Hashtbl.remove t.advertised key;
         recompute t st;
         schedule_reuse t st)
-      t.dests
   end
 
 let session_up t ~peer =
   if t.alive && not (Peer_table.mem t.live_peers peer) then begin
     Peer_table.add t.live_peers peer;
     (* table dump: the fresh peer hears every best route we hold *)
-    Hashtbl.iter (fun _prefix st -> sync_peer t st peer) t.dests
+    iter_dests t (fun st -> sync_peer t st peer)
   end
 
 (* --- crash / restart with RIB loss --- *)
@@ -428,18 +479,20 @@ let crash t =
     Peer_table.clear t.live_peers;
     (* all protocol state is lost: pending MRAI transmissions and
        damping reuse timers must not fire for a dead node *)
-    Hashtbl.iter
-      (fun _prefix st ->
-        Hashtbl.iter (fun _peer out -> Mrai.reset out.mrai) st.outs;
+    Hashtbl.iter (fun _peer out -> Mrai.reset out.mrai) t.outs;
+    iter_dests t (fun st ->
         Option.iter Dessim.Engine.cancel st.reuse_timer;
         (* the FIB empties with the RIB *)
         if st.best <> None then begin
           t.route_changes <- t.route_changes + 1;
           if next_hop_of st.best <> None then
             t.on_next_hop_change ~prefix:st.prefix ~next_hop:None
-        end)
-      t.dests;
-    Hashtbl.reset t.dests
+        end);
+    Hashtbl.reset t.dests;
+    t.dests_rev <- [];
+    Hashtbl.reset t.rib_in;
+    Hashtbl.reset t.advertised;
+    Hashtbl.reset t.outs
   end
 
 let restart t =
@@ -450,57 +503,62 @@ let restart t =
 
 (* --- inspection --- *)
 
-let best t prefix =
-  match Hashtbl.find_opt t.dests prefix with
+let find_dest t prefix =
+  match Prefix.Table.find t.prefixes prefix with
   | None -> None
-  | Some st ->
-      Option.map (fun b -> (b.learned_from, b.path)) st.best
+  | Some pid -> Hashtbl.find_opt t.dests pid
+
+let best t prefix =
+  match find_dest t prefix with
+  | None -> None
+  | Some st -> Option.map (fun b -> (b.learned_from, b.path)) st.best
 
 let next_hop t prefix =
-  match Hashtbl.find_opt t.dests prefix with
+  match find_dest t prefix with
   | None -> None
   | Some st -> next_hop_of st.best
 
 let rib_in t prefix =
-  match Hashtbl.find_opt t.dests prefix with
+  match find_dest t prefix with
   | None -> []
   | Some st ->
-      Hashtbl.fold (fun peer path acc -> (peer, path) :: acc) st.rib_in []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      Peer_table.to_list t.live_peers
+      |> List.filter_map (fun peer ->
+             match
+               Hashtbl.find_opt t.rib_in (Prefix.Key.pack ~id:st.pid ~peer)
+             with
+             | None -> None
+             | Some path -> Some (peer, path))
 
 let advertised_to t prefix ~peer =
-  match Hashtbl.find_opt t.dests prefix with
+  match find_dest t prefix with
   | None -> None
-  | Some st -> (
-      match Hashtbl.find_opt st.outs peer with
-      | None -> None
-      | Some out -> !(out.advertised))
+  | Some st -> Hashtbl.find_opt t.advertised (Prefix.Key.pack ~id:st.pid ~peer)
 
 let route_change_count t = t.route_changes
 
 let suppressed_peers t prefix =
-  match Hashtbl.find_opt t.dests prefix with
+  match find_dest t prefix with
   | None -> []
   | Some st ->
       Hashtbl.fold
-        (fun peer _ acc -> if peer_suppressed t st peer then peer :: acc else acc)
+        (fun peer _ acc ->
+          if peer_suppressed t st peer then peer :: acc else acc)
         st.damp []
       |> List.sort compare
+
+let prefix_table t = t.prefixes
 
 (* --- quiescence, arena compaction, checkpointing --- *)
 
 let quiescent t =
   Hashtbl.fold
-    (fun _prefix st acc ->
+    (fun _peer out acc ->
       acc
-      && st.reuse_timer = None
-      && Hashtbl.fold
-           (fun _peer out acc ->
-             acc
-             && (not (Mrai.timer_running out.mrai))
-             && Mrai.pending_count out.mrai = 0)
-           st.outs true)
-    t.dests true
+      && (not (Mrai.timer_running out.mrai))
+      && Mrai.pending_count out.mrai = 0)
+    t.outs true
+  && List.for_all (fun st -> st.reuse_timer = None) t.dests_rev
 
 (* [remap_paths] swaps every live path handle for [f handle]; the
    typical [f] is [As_path.reintern ~table:fresh].  Behavior is
@@ -508,36 +566,29 @@ let quiescent t =
    [As_path.equal] falls back to structural comparison across arenas.
    Only safe at quiescence: MRAI queues and in-flight engine events
    may hold handles this walk cannot reach. *)
+let remap_flat table ~f =
+  let entries = Hashtbl.fold (fun key path acc -> (key, path) :: acc) table [] in
+  (* stdlib [replace] updates the bucket cell in place, so table
+     structure (and hence iteration order) is untouched *)
+  List.iter (fun (key, path) -> Hashtbl.replace table key (f path)) entries
+
 let remap_paths t ~f =
-  Hashtbl.iter
-    (fun _prefix st ->
-      let entries =
-        Hashtbl.fold (fun peer path acc -> (peer, path) :: acc) st.rib_in []
-      in
-      (* stdlib [replace] updates the bucket cell in place, so table
-         structure (and hence iteration order) is untouched *)
-      List.iter
-        (fun (peer, path) -> Hashtbl.replace st.rib_in peer (f path))
-        entries;
-      (match st.best with
+  remap_flat t.rib_in ~f;
+  remap_flat t.advertised ~f;
+  iter_dests t (fun st ->
+      match st.best with
       | Some b -> st.best <- Some { b with path = f b.path }
-      | None -> ());
-      Hashtbl.iter
-        (fun _peer out ->
-          match !(out.advertised) with
-          | Some p -> out.advertised := Some (f p)
-          | None -> ())
-        st.outs)
-    t.dests
+      | None -> ())
 
 let set_path_table t table = t.paths <- table
 
 let path_table t = t.paths
 
 (* Snapshots are plain data: paths flattened to AS arrays (re-interned
-   on restore), hashtables to arrays in canonical order.  Only
-   meaningful at quiescence — MRAI timers, pending messages and
-   damping state are deliberately unrepresentable. *)
+   on restore), the flat shard tables regrouped per destination in
+   canonical order.  Only meaningful at quiescence — MRAI timers,
+   pending messages and damping state are deliberately
+   unrepresentable. *)
 
 type dest_snapshot = {
   sn_prefix : Prefix.t;
@@ -563,36 +614,31 @@ let snapshot t =
   if t.config.damping <> None then
     invalid_arg "Speaker.snapshot: damping state is not snapshotable";
   let arr_of_path p = Array.of_list (As_path.to_list p) in
+  (* entries exist only for live peers (session teardown clears both
+     shard tables), and the peer table iterates ascending *)
+  let shard_entries table pid =
+    let acc = ref [] in
+    Peer_table.iter
+      (fun peer ->
+        match Hashtbl.find_opt table (Prefix.Key.pack ~id:pid ~peer) with
+        | None -> ()
+        | Some path -> acc := (peer, arr_of_path path) :: !acc)
+      t.live_peers;
+    Array.of_list (List.rev !acc)
+  in
   let dests =
-    Hashtbl.fold
-      (fun prefix st acc ->
-        let rib =
-          Hashtbl.fold
-            (fun peer path acc -> (peer, arr_of_path path) :: acc)
-            st.rib_in []
-          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-        in
-        let advertised =
-          Hashtbl.fold
-            (fun peer out acc ->
-              match !(out.advertised) with
-              | Some p -> (peer, arr_of_path p) :: acc
-              | None -> acc)
-            st.outs []
-          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-        in
-        {
-          sn_prefix = prefix;
-          sn_local = st.local;
-          sn_rib_in = Array.of_list rib;
-          sn_best =
-            Option.map
-              (fun b -> (b.learned_from, arr_of_path b.path))
-              st.best;
-          sn_advertised = Array.of_list advertised;
-        }
-        :: acc)
-      t.dests []
+    List.rev t.dests_rev
+    |> List.map (fun st ->
+           {
+             sn_prefix = st.prefix;
+             sn_local = st.local;
+             sn_rib_in = shard_entries t.rib_in st.pid;
+             sn_best =
+               Option.map
+                 (fun b -> (b.learned_from, arr_of_path b.path))
+                 st.best;
+             sn_advertised = shard_entries t.advertised st.pid;
+           })
     |> List.sort (fun a b -> compare a.sn_prefix b.sn_prefix)
   in
   {
@@ -621,7 +667,10 @@ let restore t (s : snapshot) =
       let st = dest_state t d.sn_prefix in
       st.local <- d.sn_local;
       Array.iter
-        (fun (peer, arr) -> Hashtbl.replace st.rib_in peer (path_of_arr arr))
+        (fun (peer, arr) ->
+          Hashtbl.replace t.rib_in
+            (Prefix.Key.pack ~id:st.pid ~peer)
+            (path_of_arr arr))
         d.sn_rib_in;
       st.best <-
         Option.map
@@ -630,7 +679,8 @@ let restore t (s : snapshot) =
           d.sn_best;
       Array.iter
         (fun (peer, arr) ->
-          let out = out_state t st peer in
-          out.advertised := Some (path_of_arr arr))
+          Hashtbl.replace t.advertised
+            (Prefix.Key.pack ~id:st.pid ~peer)
+            (path_of_arr arr))
         d.sn_advertised)
     s.sn_dests

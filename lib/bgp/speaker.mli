@@ -24,7 +24,9 @@ type t
 val create :
   ?checker:Faults.Invariant.t ->
   ?obs:Obs.Bus.t ->
+  ?prefix_obs:bool ->
   ?paths:As_path.Table.t ->
+  ?prefixes:Prefix.Table.t ->
   engine:Dessim.Engine.t ->
   config:Config.t ->
   rng:Dessim.Rng.t ->
@@ -47,12 +49,21 @@ val create :
 
     [obs] (default {!Obs.Bus.off}) receives [Originate]/[Withdrawal]
     trace events, per-peer [Mrai_fire] events and decision-process
-    counter bumps.
+    counter bumps.  [prefix_obs] (default [false]) additionally tags
+    those events with the dense prefix id from the speaker's prefix
+    table — multi-prefix (mesh) simulations enable it; single-prefix
+    simulations leave it off so their traces keep the historical
+    byte-exact form.
 
     [paths] (default: the domain's {!As_path.default_table}) is the
     arena this speaker interns announcement paths into; a simulation
     passes one shared arena to all of its speakers so that handles
-    flowing between them compare in O(1). *)
+    flowing between them compare in O(1).
+
+    [prefixes] (default: a private table) interns destination prefixes
+    to dense ids; a mesh simulation passes one shared table to all of
+    its speakers so that the packed [(prefix_id, peer)] RIB keys and
+    trace prefix ids agree across nodes. *)
 
 val node : t -> int
 
@@ -143,6 +154,10 @@ val set_path_table : t -> As_path.Table.t -> unit
     after {!remap_paths} into the same table. *)
 
 val path_table : t -> As_path.Table.t
+
+val prefix_table : t -> Prefix.Table.t
+(** The prefix-interning table this speaker keys its RIB shards with
+    (shared across speakers in a mesh simulation). *)
 
 (** Marshal-safe snapshot of a quiescent speaker's protocol state:
     paths are flattened to AS arrays and re-interned on restore,

@@ -30,8 +30,10 @@ type t = {
 
 (* v2: the trace digest chain folds binary frames (Obs.Binary) instead
    of JSONL lines, so chains written by v1 checkpoints cannot be
-   continued — resuming one must fail structurally, not mid-chain. *)
-let version = 2
+   continued — resuming one must fail structurally, not mid-chain.
+   v3: Obs.Binary moved to format 2 (trailing optional prefix-id field
+   on per-prefix frames), changing the frame bytes the chain folds. *)
+let version = 3
 let header_prefix = "bgpsim-churn-ckpt v"
 let header = Printf.sprintf "%s%d\n" header_prefix version
 

@@ -47,7 +47,27 @@ let digest f = Obs.Trace_digest.of_events (events f)
 
 let digest_line f = Printf.sprintf "%s %s" f.name (digest f)
 
-let digest_lines () = List.map digest_line fixtures
+(* Full-mesh multi-prefix fixture: clique 5, every node originating its
+   own prefix, node 0's prefix withdrawn.  Not an [Experiment.spec]
+   (those are single-prefix), so it lives outside [fixtures]; its
+   digest pins the per-prefix trace tagging, the packed-key RIB
+   sharding and the batched MRAI release order. *)
+let mesh_name = "clique5-mesh"
+
+let mesh_events () =
+  let sink, contents = Obs.Sink.memory () in
+  let obs = Obs.Bus.create ~sink () in
+  let (_ : Bgp.Mesh_sim.outcome) =
+    Bgp.Mesh_sim.run ~obs ~graph:(Topo.Generators.clique 5) ~victim:0 ~seed:1
+      ()
+  in
+  contents ()
+
+let mesh_digest () = Obs.Trace_digest.of_events (mesh_events ())
+
+let mesh_digest_line () = Printf.sprintf "%s %s" mesh_name (mesh_digest ())
+
+let digest_lines () = List.map digest_line fixtures @ [ mesh_digest_line () ]
 
 (* Fixture-file format: one "<name> <hex-md5>" pair per line; blank
    lines and '#' comments are ignored. *)

@@ -33,7 +33,24 @@ val digest : fixture -> string
 val digest_line : fixture -> string
 (** ["<name> <digest>"] — the fixture-file line format. *)
 
+val mesh_name : string
+(** ["clique5-mesh"] — the full-mesh multi-prefix fixture: clique 5,
+    every node originating its own prefix, node 0's prefix withdrawn.
+    Not an {!Experiment.spec} (those are single-prefix), so it is
+    exposed through the functions below instead of {!fixtures}. *)
+
+val mesh_events : unit -> Obs.Event.t list
+(** Run the full-mesh fixture with a memory sink and return its
+    per-prefix-tagged trace. *)
+
+val mesh_digest : unit -> string
+(** Hex md5 of the full-mesh fixture's JSONL trace. *)
+
+val mesh_digest_line : unit -> string
+(** ["clique5-mesh <digest>"]. *)
+
 val digest_lines : unit -> string list
+(** All fixture lines followed by the {!mesh_digest_line}. *)
 
 val parse_expected : string -> (string * string) list
 (** Parse fixture-file text (["<name> <digest>"] lines; blanks and

@@ -95,7 +95,7 @@ let find_new_cycle st ~origin v =
   in
   if st.member_of.(v) <> None then None else chase v [] 0
 
-let scan ?(obs = Obs.Bus.off) ~fib ~origin ~from () =
+let scan ?(obs = Obs.Bus.off) ?prefix ~fib ~origin ~from () =
   let n = Netcore.Fib_history.n_nodes fib in
   let st =
     {
@@ -116,7 +116,8 @@ let scan ?(obs = Obs.Bus.off) ~fib ~origin ~from () =
     let v = change.node in
     (match st.member_of.(v) with
     | Some live ->
-        Obs.Bus.loop_resolved obs ~time:change.time ~members:live.l_members;
+        Obs.Bus.loop_resolved ?prefix obs ~time:change.time
+          ~members:live.l_members;
         kill st ~time:change.time live
     | None -> ());
     st.next_hop.(v) <- change.next_hop;
@@ -124,8 +125,8 @@ let scan ?(obs = Obs.Bus.off) ~fib ~origin ~from () =
     | None -> ()
     | Some cycle ->
         let live = register st ~time:change.time ~trigger:v cycle in
-        Obs.Bus.loop_detected obs ~time:change.time ~members:live.l_members
-          ~trigger:v
+        Obs.Bus.loop_detected ?prefix obs ~time:change.time
+          ~members:live.l_members ~trigger:v
   in
   List.iter apply (Netcore.Fib_history.changes_from fib ~from);
   (* Surviving loops are reported with no death time. *)

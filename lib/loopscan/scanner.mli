@@ -41,6 +41,7 @@ type report = {
 
 val scan :
   ?obs:Obs.Bus.t ->
+  ?prefix:int ->
   fib:Netcore.Fib_history.t ->
   origin:int ->
   from:float ->
@@ -50,7 +51,8 @@ val scan :
     before [from] (which must be loop-free, e.g. a converged warm-up
     state) and processes all changes at or after [from].  [obs]
     (default {!Obs.Bus.off}) receives [Loop_detected]/[Loop_resolved]
-    events, timestamped with the FIB-change virtual times.
+    events, timestamped with the FIB-change virtual times and tagged
+    with [prefix] when given.
     @raise Invalid_argument if the starting state already contains a
     loop. *)
 

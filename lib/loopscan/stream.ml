@@ -119,10 +119,10 @@ let create ?(record = false) ~origin ~initial () =
   done;
   t
 
-let observe ?(obs = Obs.Bus.off) t ~time ~node ~next_hop =
+let observe ?(obs = Obs.Bus.off) ?prefix t ~time ~node ~next_hop =
   (match t.member_of.(node) with
   | Some live ->
-      Obs.Bus.loop_resolved obs ~time ~members:live.l_members;
+      Obs.Bus.loop_resolved ?prefix obs ~time ~members:live.l_members;
       kill t ~time live
   | None -> ());
   t.next_hop.(node) <- next_hop;
@@ -130,7 +130,8 @@ let observe ?(obs = Obs.Bus.off) t ~time ~node ~next_hop =
   | None -> ()
   | Some cycle ->
       let live = register t ~time ~trigger:node cycle in
-      Obs.Bus.loop_detected obs ~time ~members:live.l_members ~trigger:node
+      Obs.Bus.loop_detected ?prefix obs ~time ~members:live.l_members
+        ~trigger:node
 
 let live_loops t = t.alive
 let n_nodes t = Array.length t.next_hop

@@ -28,11 +28,17 @@ val create :
     of range. *)
 
 val observe :
-  ?obs:Obs.Bus.t -> t -> time:float -> node:int -> next_hop:int option -> unit
+  ?obs:Obs.Bus.t ->
+  ?prefix:int ->
+  t ->
+  time:float ->
+  node:int ->
+  next_hop:int option ->
+  unit
 (** Apply one FIB change.  Changes must arrive in nondecreasing time
     order (as the simulation emits them).  [obs] (default
     {!Obs.Bus.off}) receives [Loop_detected] / [Loop_resolved]
-    events. *)
+    events, tagged with [prefix] when given (mesh runs). *)
 
 val live_loops : t -> int
 (** Number of loops alive right now. *)

@@ -13,8 +13,26 @@
    re-emits JSONL that the golden digests check. *)
 
 let magic = "BGPTRACE"
-let version = 1
+
+(* v2: the per-prefix events (update_sent/recv, originate, withdrawal,
+   fib_change, loop_detected/resolved) gained a trailing optional
+   prefix-id field.  v1 frames for those tags are one field short, so
+   a v1 stream cannot be decoded by this build: the header check
+   rejects it structurally (not with a parse error mid-stream). *)
+let version = 2
 let header = magic ^ String.make 1 (Char.chr version)
+
+exception Unsupported_version of { found : int; expected : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported_version { found; expected } ->
+        Some
+          (Printf.sprintf
+             "Obs.Binary: unsupported trace format version %d (this build \
+              reads version %d); re-record the trace with this build"
+             found expected)
+    | _ -> None)
 
 let corrupt fmt = Printf.ksprintf failwith ("Obs.Binary: " ^^ fmt)
 
@@ -59,31 +77,36 @@ let scratch = Buffer.create 256
 
 let add_payload buf (ev : Event.t) =
   match ev with
-  | Update_sent { time; src; dst; withdraw } ->
+  | Update_sent { time; src; dst; withdraw; prefix } ->
       Buffer.add_char buf '\000';
       add_time buf time;
       add_int32 buf src;
       add_int32 buf dst;
-      add_bool buf withdraw
-  | Update_recv { time; node; from; withdraw } ->
+      add_bool buf withdraw;
+      add_opt_int buf prefix
+  | Update_recv { time; node; from; withdraw; prefix } ->
       Buffer.add_char buf '\001';
       add_time buf time;
       add_int32 buf node;
       add_int32 buf from;
-      add_bool buf withdraw
-  | Originate { time; node } ->
+      add_bool buf withdraw;
+      add_opt_int buf prefix
+  | Originate { time; node; prefix } ->
       Buffer.add_char buf '\002';
       add_time buf time;
-      add_int32 buf node
-  | Withdrawal { time; node } ->
+      add_int32 buf node;
+      add_opt_int buf prefix
+  | Withdrawal { time; node; prefix } ->
       Buffer.add_char buf '\003';
       add_time buf time;
-      add_int32 buf node
-  | Fib_change { time; node; next_hop } ->
+      add_int32 buf node;
+      add_opt_int buf prefix
+  | Fib_change { time; node; next_hop; prefix } ->
       Buffer.add_char buf '\004';
       add_time buf time;
       add_int32 buf node;
-      add_opt_int buf next_hop
+      add_opt_int buf next_hop;
+      add_opt_int buf prefix
   | Mrai_fire { time; node; peer } ->
       Buffer.add_char buf '\005';
       add_time buf time;
@@ -106,15 +129,17 @@ let add_payload buf (ev : Event.t) =
       add_int32 buf a;
       add_int32 buf b;
       Buffer.add_char buf (reason_byte reason)
-  | Loop_detected { time; members; trigger } ->
+  | Loop_detected { time; members; trigger; prefix } ->
       Buffer.add_char buf '\009';
       add_time buf time;
       add_members buf members;
-      add_int32 buf trigger
-  | Loop_resolved { time; members } ->
+      add_int32 buf trigger;
+      add_opt_int buf prefix
+  | Loop_resolved { time; members; prefix } ->
       Buffer.add_char buf '\010';
       add_time buf time;
-      add_members buf members
+      add_members buf members;
+      add_opt_int buf prefix
 
 let encode buf ev =
   Buffer.clear scratch;
@@ -200,26 +225,31 @@ let decode_payload s pos limit : Event.t =
         let src, pos = read_int32 s pos in
         let dst, pos = read_int32 s pos in
         let withdraw, pos = read_bool s pos in
-        (Event.Update_sent { time; src; dst; withdraw }, pos)
+        let prefix, pos = read_opt_int s pos in
+        (Event.Update_sent { time; src; dst; withdraw; prefix }, pos)
     | 1 ->
         let time, pos = read_time s pos in
         let node, pos = read_int32 s pos in
         let from, pos = read_int32 s pos in
         let withdraw, pos = read_bool s pos in
-        (Event.Update_recv { time; node; from; withdraw }, pos)
+        let prefix, pos = read_opt_int s pos in
+        (Event.Update_recv { time; node; from; withdraw; prefix }, pos)
     | 2 ->
         let time, pos = read_time s pos in
         let node, pos = read_int32 s pos in
-        (Event.Originate { time; node }, pos)
+        let prefix, pos = read_opt_int s pos in
+        (Event.Originate { time; node; prefix }, pos)
     | 3 ->
         let time, pos = read_time s pos in
         let node, pos = read_int32 s pos in
-        (Event.Withdrawal { time; node }, pos)
+        let prefix, pos = read_opt_int s pos in
+        (Event.Withdrawal { time; node; prefix }, pos)
     | 4 ->
         let time, pos = read_time s pos in
         let node, pos = read_int32 s pos in
         let next_hop, pos = read_opt_int s pos in
-        (Event.Fib_change { time; node; next_hop }, pos)
+        let prefix, pos = read_opt_int s pos in
+        (Event.Fib_change { time; node; next_hop; prefix }, pos)
     | 5 ->
         let time, pos = read_time s pos in
         let node, pos = read_int32 s pos in
@@ -246,11 +276,13 @@ let decode_payload s pos limit : Event.t =
         let time, pos = read_time s pos in
         let members, pos = read_members s pos in
         let trigger, pos = read_int32 s pos in
-        (Event.Loop_detected { time; members; trigger }, pos)
+        let prefix, pos = read_opt_int s pos in
+        (Event.Loop_detected { time; members; trigger; prefix }, pos)
     | 10 ->
         let time, pos = read_time s pos in
         let members, pos = read_members s pos in
-        (Event.Loop_resolved { time; members }, pos)
+        let prefix, pos = read_opt_int s pos in
+        (Event.Loop_resolved { time; members; prefix }, pos)
     | t -> corrupt "unknown event tag %d" t
   in
   if stop <> limit then
@@ -270,7 +302,7 @@ let check_header s pos =
     corrupt "bad magic (not a binary trace)";
   let v = Char.code s.[pos + String.length magic] in
   if v <> version then
-    corrupt "unsupported trace format version %d (expected %d)" v version;
+    raise (Unsupported_version { found = v; expected = version });
   pos + String.length header
 
 let decode_all s =

@@ -11,10 +11,16 @@
     chain is computed over these frames. *)
 
 val version : int
-(** Current format version (encoded in {!header}). *)
+(** Current format version (encoded in {!header}).  Version 2 added a
+    trailing optional prefix-id field to the per-prefix events. *)
 
 val header : string
 (** Stream header bytes: magic + version. *)
+
+exception Unsupported_version of { found : int; expected : int }
+(** Raised (instead of [Failure]) when a stream's header names a
+    different format version — e.g. a v1 trace read by a v2 build.  A
+    registered printer renders an actionable message. *)
 
 val encode : Buffer.t -> Event.t -> unit
 (** Append one frame (length prefix + payload) to [buf].  Does not
@@ -29,14 +35,16 @@ val decode : string -> pos:int -> Event.t * int
 
 val decode_all : string -> Event.t list
 (** Decode a complete stream (header + frames).  Raises [Failure] on a
-    bad header, unknown version, or corrupt frame. *)
+    bad header or corrupt frame, {!Unsupported_version} on a version
+    mismatch. *)
 
 type reader
 (** Incremental decoder over an input channel. *)
 
 val open_reader : in_channel -> reader
 (** Read and validate the stream header.  Raises [Failure] if the
-    channel does not start with a supported header. *)
+    channel does not start with a binary-trace header,
+    {!Unsupported_version} on a version mismatch. *)
 
 val input : reader -> Event.t option
 (** Next event, or [None] at a clean end of stream.  Raises [Failure]

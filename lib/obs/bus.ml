@@ -15,37 +15,38 @@ let close t = Sink.close t.sink
 
 let[@inline] want_events t = t.enabled && t.sink != Sink.null
 
-let update_sent t ~time ~src ~dst ~withdraw =
+let update_sent ?prefix t ~time ~src ~dst ~withdraw =
   if t.enabled then begin
     (match t.counters with
     | Some c -> Counters.incr_sent c ~node:src ~withdraw
     | None -> ());
     if t.sink != Sink.null then
-      Sink.emit t.sink (Event.Update_sent { time; src; dst; withdraw })
+      Sink.emit t.sink (Event.Update_sent { time; src; dst; withdraw; prefix })
   end
 
-let update_recv t ~time ~node ~from ~withdraw =
+let update_recv ?prefix t ~time ~node ~from ~withdraw =
   if t.enabled then begin
     (match t.counters with
     | Some c -> Counters.incr_recv c ~node ~withdraw
     | None -> ());
     if t.sink != Sink.null then
-      Sink.emit t.sink (Event.Update_recv { time; node; from; withdraw })
+      Sink.emit t.sink (Event.Update_recv { time; node; from; withdraw; prefix })
   end
 
-let originate t ~time ~node =
-  if want_events t then Sink.emit t.sink (Event.Originate { time; node })
+let originate ?prefix t ~time ~node =
+  if want_events t then Sink.emit t.sink (Event.Originate { time; node; prefix })
 
-let local_withdraw t ~time ~node =
-  if want_events t then Sink.emit t.sink (Event.Withdrawal { time; node })
+let local_withdraw ?prefix t ~time ~node =
+  if want_events t then
+    Sink.emit t.sink (Event.Withdrawal { time; node; prefix })
 
-let fib_change t ~time ~node ~next_hop =
+let fib_change ?prefix t ~time ~node ~next_hop =
   if t.enabled then begin
     (match t.counters with
     | Some c -> Counters.incr_fib_change c ~node
     | None -> ());
     if t.sink != Sink.null then
-      Sink.emit t.sink (Event.Fib_change { time; node; next_hop })
+      Sink.emit t.sink (Event.Fib_change { time; node; next_hop; prefix })
   end
 
 let mrai_fire t ~time ~node ~peer =
@@ -84,17 +85,18 @@ let msg_dropped t ~time ~a ~b ~reason =
       Sink.emit t.sink (Event.Msg_dropped { time; a; b; reason })
   end
 
-let loop_detected t ~time ~members ~trigger =
+let loop_detected ?prefix t ~time ~members ~trigger =
   if t.enabled then begin
     (match t.counters with
     | Some c -> Counters.incr_loop c
     | None -> ());
     if t.sink != Sink.null then
-      Sink.emit t.sink (Event.Loop_detected { time; members; trigger })
+      Sink.emit t.sink (Event.Loop_detected { time; members; trigger; prefix })
   end
 
-let loop_resolved t ~time ~members =
-  if want_events t then Sink.emit t.sink (Event.Loop_resolved { time; members })
+let loop_resolved ?prefix t ~time ~members =
+  if want_events t then
+    Sink.emit t.sink (Event.Loop_resolved { time; members; prefix })
 
 let decision_run t ~node =
   if t.enabled then

@@ -21,13 +21,20 @@ val counters : t -> Counters.t option
 val close : t -> unit
 (** Close the underlying sink (flush/close files). *)
 
-(** {2 Emit points} — one per instrumented site. *)
+(** {2 Emit points} — one per instrumented site.
 
-val update_sent : t -> time:float -> src:int -> dst:int -> withdraw:bool -> unit
-val update_recv : t -> time:float -> node:int -> from:int -> withdraw:bool -> unit
-val originate : t -> time:float -> node:int -> unit
-val local_withdraw : t -> time:float -> node:int -> unit
-val fib_change : t -> time:float -> node:int -> next_hop:int option -> unit
+    [?prefix] is the dense prefix id for per-prefix events; omitted
+    (the single-prefix simulators) the event renders its historical
+    byte-exact form. *)
+
+val update_sent :
+  ?prefix:int -> t -> time:float -> src:int -> dst:int -> withdraw:bool -> unit
+val update_recv :
+  ?prefix:int -> t -> time:float -> node:int -> from:int -> withdraw:bool -> unit
+val originate : ?prefix:int -> t -> time:float -> node:int -> unit
+val local_withdraw : ?prefix:int -> t -> time:float -> node:int -> unit
+val fib_change :
+  ?prefix:int -> t -> time:float -> node:int -> next_hop:int option -> unit
 val mrai_fire : t -> time:float -> node:int -> peer:int -> unit
 
 val node_submit : t -> time:float -> node:int -> busy:bool -> depth:int -> unit
@@ -37,8 +44,9 @@ val node_submit : t -> time:float -> node:int -> busy:bool -> depth:int -> unit
 val link_state : t -> time:float -> a:int -> b:int -> up:bool -> unit
 val msg_dropped :
   t -> time:float -> a:int -> b:int -> reason:Event.drop_reason -> unit
-val loop_detected : t -> time:float -> members:int list -> trigger:int -> unit
-val loop_resolved : t -> time:float -> members:int list -> unit
+val loop_detected :
+  ?prefix:int -> t -> time:float -> members:int list -> trigger:int -> unit
+val loop_resolved : ?prefix:int -> t -> time:float -> members:int list -> unit
 
 val decision_run : t -> node:int -> unit
 (** Counter-only: one decision-process invocation. *)

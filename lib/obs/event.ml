@@ -9,18 +9,44 @@ let drop_reason_to_string = function
   | Loss -> "loss"
   | Stale_epoch -> "stale-epoch"
 
+(* Events that are about one destination prefix carry its dense id
+   ([Bgp.Prefix.Table]) as [prefix].  Single-prefix simulations leave
+   it [None], which renders to the exact historical bytes — golden
+   digests from before the field existed still hold. *)
 type t =
-  | Update_sent of { time : float; src : int; dst : int; withdraw : bool }
-  | Update_recv of { time : float; node : int; from : int; withdraw : bool }
-  | Originate of { time : float; node : int }
-  | Withdrawal of { time : float; node : int }
-  | Fib_change of { time : float; node : int; next_hop : int option }
+  | Update_sent of {
+      time : float;
+      src : int;
+      dst : int;
+      withdraw : bool;
+      prefix : int option;
+    }
+  | Update_recv of {
+      time : float;
+      node : int;
+      from : int;
+      withdraw : bool;
+      prefix : int option;
+    }
+  | Originate of { time : float; node : int; prefix : int option }
+  | Withdrawal of { time : float; node : int; prefix : int option }
+  | Fib_change of {
+      time : float;
+      node : int;
+      next_hop : int option;
+      prefix : int option;
+    }
   | Mrai_fire of { time : float; node : int; peer : int }
   | Node_busy of { time : float; node : int; depth : int }
   | Link_state of { time : float; a : int; b : int; up : bool }
   | Msg_dropped of { time : float; a : int; b : int; reason : drop_reason }
-  | Loop_detected of { time : float; members : int list; trigger : int }
-  | Loop_resolved of { time : float; members : int list }
+  | Loop_detected of {
+      time : float;
+      members : int list;
+      trigger : int;
+      prefix : int option;
+    }
+  | Loop_resolved of { time : float; members : int list; prefix : int option }
 
 let time = function
   | Update_sent { time; _ }
@@ -34,6 +60,16 @@ let time = function
   | Msg_dropped { time; _ }
   | Loop_detected { time; _ }
   | Loop_resolved { time; _ } -> time
+
+let prefix = function
+  | Update_sent { prefix; _ }
+  | Update_recv { prefix; _ }
+  | Originate { prefix; _ }
+  | Withdrawal { prefix; _ }
+  | Fib_change { prefix; _ }
+  | Loop_detected { prefix; _ }
+  | Loop_resolved { prefix; _ } -> prefix
+  | Mrai_fire _ | Node_busy _ | Link_state _ | Msg_dropped _ -> None
 
 let kind = function
   | Update_sent _ -> "update_sent"
@@ -59,22 +95,33 @@ let msg_kind withdraw = if withdraw then "withdraw" else "announce"
 let int_list members =
   "[" ^ String.concat "," (List.map string_of_int members) ^ "]"
 
+(* [None] renders to nothing so pre-multi-prefix traces keep their
+   exact bytes (and digests). *)
+let pfx = function
+  | None -> ""
+  | Some p -> Printf.sprintf {|,"pfx":%d|} p
+
 let to_json ev =
   match ev with
-  | Update_sent { time; src; dst; withdraw } ->
-      Printf.sprintf {|{"ev":"update_sent","t":%s,"src":%d,"dst":%d,"kind":"%s"}|}
-        (fmt_time time) src dst (msg_kind withdraw)
-  | Update_recv { time; node; from; withdraw } ->
-      Printf.sprintf {|{"ev":"update_recv","t":%s,"node":%d,"from":%d,"kind":"%s"}|}
-        (fmt_time time) node from (msg_kind withdraw)
-  | Originate { time; node } ->
-      Printf.sprintf {|{"ev":"originate","t":%s,"node":%d}|} (fmt_time time) node
-  | Withdrawal { time; node } ->
-      Printf.sprintf {|{"ev":"withdrawal","t":%s,"node":%d}|} (fmt_time time) node
-  | Fib_change { time; node; next_hop } ->
-      Printf.sprintf {|{"ev":"fib_change","t":%s,"node":%d,"next_hop":%s}|}
+  | Update_sent { time; src; dst; withdraw; prefix } ->
+      Printf.sprintf
+        {|{"ev":"update_sent","t":%s,"src":%d,"dst":%d,"kind":"%s"%s}|}
+        (fmt_time time) src dst (msg_kind withdraw) (pfx prefix)
+  | Update_recv { time; node; from; withdraw; prefix } ->
+      Printf.sprintf
+        {|{"ev":"update_recv","t":%s,"node":%d,"from":%d,"kind":"%s"%s}|}
+        (fmt_time time) node from (msg_kind withdraw) (pfx prefix)
+  | Originate { time; node; prefix } ->
+      Printf.sprintf {|{"ev":"originate","t":%s,"node":%d%s}|} (fmt_time time)
+        node (pfx prefix)
+  | Withdrawal { time; node; prefix } ->
+      Printf.sprintf {|{"ev":"withdrawal","t":%s,"node":%d%s}|} (fmt_time time)
+        node (pfx prefix)
+  | Fib_change { time; node; next_hop; prefix } ->
+      Printf.sprintf {|{"ev":"fib_change","t":%s,"node":%d,"next_hop":%s%s}|}
         (fmt_time time) node
         (match next_hop with None -> "null" | Some nh -> string_of_int nh)
+        (pfx prefix)
   | Mrai_fire { time; node; peer } ->
       Printf.sprintf {|{"ev":"mrai_fire","t":%s,"node":%d,"peer":%d}|}
         (fmt_time time) node peer
@@ -87,9 +134,9 @@ let to_json ev =
   | Msg_dropped { time; a; b; reason } ->
       Printf.sprintf {|{"ev":"msg_dropped","t":%s,"a":%d,"b":%d,"reason":"%s"}|}
         (fmt_time time) a b (drop_reason_to_string reason)
-  | Loop_detected { time; members; trigger } ->
-      Printf.sprintf {|{"ev":"loop_detected","t":%s,"members":%s,"trigger":%d}|}
-        (fmt_time time) (int_list members) trigger
-  | Loop_resolved { time; members } ->
-      Printf.sprintf {|{"ev":"loop_resolved","t":%s,"members":%s}|}
-        (fmt_time time) (int_list members)
+  | Loop_detected { time; members; trigger; prefix } ->
+      Printf.sprintf {|{"ev":"loop_detected","t":%s,"members":%s,"trigger":%d%s}|}
+        (fmt_time time) (int_list members) trigger (pfx prefix)
+  | Loop_resolved { time; members; prefix } ->
+      Printf.sprintf {|{"ev":"loop_resolved","t":%s,"members":%s%s}|}
+        (fmt_time time) (int_list members) (pfx prefix)

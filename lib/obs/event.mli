@@ -13,21 +13,53 @@ val drop_reason_to_string : drop_reason -> string
 (** Stable rendering: ["down"], ["loss"], ["stale-epoch"].  Pinned by
     the golden digests — extend, never change. *)
 
+(** Events that concern one destination prefix carry its dense id
+    ([Bgp.Prefix.Table]) as [prefix].  Single-prefix simulations leave
+    it [None]: the JSONL rendering then omits the ["pfx"] field
+    entirely, so traces (and golden digests) from before the field
+    existed are unchanged.  Multi-prefix simulations ([Mesh_sim]) set
+    it on every per-prefix event. *)
 type t =
-  | Update_sent of { time : float; src : int; dst : int; withdraw : bool }
-  | Update_recv of { time : float; node : int; from : int; withdraw : bool }
-  | Originate of { time : float; node : int }
-  | Withdrawal of { time : float; node : int }
-  | Fib_change of { time : float; node : int; next_hop : int option }
+  | Update_sent of {
+      time : float;
+      src : int;
+      dst : int;
+      withdraw : bool;
+      prefix : int option;
+    }
+  | Update_recv of {
+      time : float;
+      node : int;
+      from : int;
+      withdraw : bool;
+      prefix : int option;
+    }
+  | Originate of { time : float; node : int; prefix : int option }
+  | Withdrawal of { time : float; node : int; prefix : int option }
+  | Fib_change of {
+      time : float;
+      node : int;
+      next_hop : int option;
+      prefix : int option;
+    }
   | Mrai_fire of { time : float; node : int; peer : int }
   | Node_busy of { time : float; node : int; depth : int }
   | Link_state of { time : float; a : int; b : int; up : bool }
   | Msg_dropped of { time : float; a : int; b : int; reason : drop_reason }
-  | Loop_detected of { time : float; members : int list; trigger : int }
-  | Loop_resolved of { time : float; members : int list }
+  | Loop_detected of {
+      time : float;
+      members : int list;
+      trigger : int;
+      prefix : int option;
+    }
+  | Loop_resolved of { time : float; members : int list; prefix : int option }
 
 val time : t -> float
 (** Virtual time of the event. *)
+
+val prefix : t -> int option
+(** The dense prefix id of a per-prefix event; [None] for events with
+    no prefix dimension (or from single-prefix runs). *)
 
 val kind : t -> string
 (** Stable lowercase tag, e.g. ["update_sent"]. *)

@@ -23,8 +23,9 @@ let expected () = Golden.parse_expected (read_file expected_path)
 let test_fixture_file_well_formed () =
   let pairs = expected () in
   Alcotest.(check (list string))
-    "one committed digest per fixture, same order"
-    (List.map (fun (f : Golden.fixture) -> f.name) Golden.fixtures)
+    "one committed digest per fixture (mesh last), same order"
+    (List.map (fun (f : Golden.fixture) -> f.name) Golden.fixtures
+    @ [ Golden.mesh_name ])
     (List.map fst pairs);
   List.iter
     (fun (_, d) ->
@@ -45,7 +46,13 @@ let test_digests_match_committed () =
           Alcotest.(check string)
             (f.name ^ " digest unchanged")
             want (Golden.digest f))
-    Golden.fixtures
+    Golden.fixtures;
+  match List.assoc_opt Golden.mesh_name pairs with
+  | None -> Alcotest.fail ("no committed digest for " ^ Golden.mesh_name)
+  | Some want ->
+      Alcotest.(check string)
+        (Golden.mesh_name ^ " digest unchanged")
+        want (Golden.mesh_digest ())
 
 let test_digest_stable_across_recompute () =
   let f = Golden.canonical in
@@ -99,43 +106,48 @@ let test_binary_decode_byte_identical () =
         (Sys.readdir dir);
       Sys.rmdir dir)
     (fun () ->
+      let oracle name events digest =
+        let jsonl_path = Filename.concat dir (name ^ ".jsonl") in
+        let bin_path = Filename.concat dir (name ^ ".bin") in
+        let write sink =
+          List.iter (Obs.Sink.emit sink) events;
+          Obs.Sink.close sink
+        in
+        write (Obs.Sink.jsonl_file jsonl_path);
+        write (Obs.Sink.binary_file bin_path);
+        (* decode the binary file back to JSONL, as `trace decode` does *)
+        let decoded = Buffer.create 4096 in
+        let ic = open_in_bin bin_path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let r = Obs.Binary.open_reader ic in
+            let rec loop () =
+              match Obs.Binary.input r with
+              | Some ev ->
+                  Buffer.add_string decoded (Obs.Event.to_json ev);
+                  Buffer.add_char decoded '\n';
+                  loop ()
+              | None -> ()
+            in
+            loop ());
+        Alcotest.(check string)
+          (name ^ ": decoded binary = direct JSONL bytes")
+          (read_file jsonl_path)
+          (Buffer.contents decoded);
+        (* and both digests name the same canonical JSONL value *)
+        Alcotest.(check string)
+          (name ^ ": file digest agrees")
+          digest
+          (Obs.Trace_digest.of_file jsonl_path)
+      in
       List.iter
         (fun (f : Golden.fixture) ->
-          let events = Golden.events f in
-          let jsonl_path = Filename.concat dir (f.name ^ ".jsonl") in
-          let bin_path = Filename.concat dir (f.name ^ ".bin") in
-          let write sink =
-            List.iter (Obs.Sink.emit sink) events;
-            Obs.Sink.close sink
-          in
-          write (Obs.Sink.jsonl_file jsonl_path);
-          write (Obs.Sink.binary_file bin_path);
-          (* decode the binary file back to JSONL, as `trace decode` does *)
-          let decoded = Buffer.create 4096 in
-          let ic = open_in_bin bin_path in
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () ->
-              let r = Obs.Binary.open_reader ic in
-              let rec loop () =
-                match Obs.Binary.input r with
-                | Some ev ->
-                    Buffer.add_string decoded (Obs.Event.to_json ev);
-                    Buffer.add_char decoded '\n';
-                    loop ()
-                | None -> ()
-              in
-              loop ());
-          Alcotest.(check string)
-            (f.name ^ ": decoded binary = direct JSONL bytes")
-            (read_file jsonl_path)
-            (Buffer.contents decoded);
-          (* and both digests name the same canonical JSONL value *)
-          Alcotest.(check string)
-            (f.name ^ ": file digest agrees")
-            (Golden.digest f)
-            (Obs.Trace_digest.of_file jsonl_path))
-        Golden.fixtures)
+          oracle f.name (Golden.events f) (Golden.digest f))
+        Golden.fixtures;
+      (* the mesh fixture exercises the per-prefix-tagged frames (format
+         2's trailing prefix field) through the same oracle *)
+      oracle Golden.mesh_name (Golden.mesh_events ()) (Golden.mesh_digest ()))
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in

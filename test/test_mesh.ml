@@ -1,0 +1,300 @@
+(* The full-mesh differential + property wall.
+
+   Differential: Mesh_sim restricted to one prefix must reproduce
+   Multi_sim exactly — same FIB histories, same loop reports, same
+   convergence accounting — on the golden-fixture graphs and on a
+   sweep of seeded internet graphs.  Multi_sim is in turn pinned to
+   Routing_sim by test_multi_sim, so the chain reaches the original
+   single-prefix simulation.
+
+   Properties: the batched per-peer MRAI releases each pending key
+   exactly once per expiry and behaves like one independent timer per
+   key; packed (prefix, peer) keys round-trip injectively; the
+   streaming per-prefix loop scans of a mesh run equal N independent
+   post-hoc scans of its FIB histories. *)
+
+let fib_changes fib = Netcore.Fib_history.changes_from fib ~from:neg_infinity
+
+(* Mesh_sim with a single origin vs Multi_sim on the same graph/seed:
+   every observable result must coincide. *)
+let check_mesh_equals_multi ?churn ~graph ~origin ~seed name =
+  let mesh =
+    Bgp.Mesh_sim.run ?churn ~graph ~origins:[ origin ] ~victim:0 ~seed ()
+  in
+  let multi =
+    Bgp.Multi_sim.run ?churn ~graph ~origins:[ origin ] ~victim:0 ~seed ()
+  in
+  Alcotest.(check (float 0.)) (name ^ ": t_fail") multi.t_fail mesh.t_fail;
+  Alcotest.(check (float 0.))
+    (name ^ ": convergence end")
+    multi.victim_convergence_end mesh.victim_convergence_end;
+  Alcotest.(check int)
+    (name ^ ": victim messages")
+    multi.victim_messages mesh.victim_messages;
+  Alcotest.(check int)
+    (name ^ ": background messages")
+    multi.background_messages mesh.background_messages;
+  Alcotest.(check bool) (name ^ ": converged") multi.converged mesh.converged;
+  Alcotest.(check bool)
+    (name ^ ": termination")
+    true
+    (mesh.termination = multi.termination);
+  Alcotest.(check int)
+    (name ^ ": paths interned")
+    multi.paths_interned mesh.paths_interned;
+  let mesh_fib = snd (List.hd mesh.prefixes) in
+  let multi_fib = snd (List.hd multi.prefixes) in
+  Alcotest.(check bool)
+    (name ^ ": FIB histories identical")
+    true
+    (fib_changes mesh_fib = fib_changes multi_fib);
+  (* the mesh's streaming loop scan vs a post-hoc scan of Multi_sim's
+     own history — the two simulations AND the two scanner
+     implementations must agree *)
+  let posthoc =
+    Loopscan.Scanner.scan ~fib:multi_fib ~origin ~from:multi.t_fail ()
+  in
+  match mesh.loop_reports with
+  | [ (_, streamed) ] ->
+      Alcotest.(check bool)
+        (name ^ ": loop reports identical")
+        true (streamed = posthoc)
+  | reports ->
+      Alcotest.failf "%s: expected one loop report, got %d" name
+        (List.length reports)
+
+let test_differential_golden_graphs () =
+  check_mesh_equals_multi ~graph:(Topo.Generators.clique 5) ~origin:0 ~seed:1
+    "clique5";
+  check_mesh_equals_multi ~graph:(Topo.Generators.b_clique 5) ~origin:0 ~seed:1
+    "bclique5";
+  check_mesh_equals_multi ~graph:(Topo.Generators.chain 6) ~origin:0 ~seed:1
+    "chain6";
+  (* background churn flows through the same injection schedule *)
+  check_mesh_equals_multi
+    ~churn:{ Bgp.Multi_sim.period = 20.; cycles = 2; flappers = [] }
+    ~graph:(Topo.Generators.clique 5) ~origin:0 ~seed:2 "clique5-churn"
+
+let test_differential_internet_sweep () =
+  (* 20 seeded internet graphs: 5 sizes x 4 seeds *)
+  List.iter
+    (fun size ->
+      List.iter
+        (fun seed ->
+          let graph = Topo.Internet.generate ~seed size in
+          check_mesh_equals_multi ~graph ~origin:0 ~seed
+            (Printf.sprintf "internet-%d seed %d" size seed))
+        [ 1; 2; 3; 4 ])
+    [ 10; 12; 14; 16; 18 ]
+
+let mesh_trace ~graph ~victim ~seed =
+  let sink, contents = Obs.Sink.memory () in
+  let obs = Obs.Bus.create ~sink () in
+  let o = Bgp.Mesh_sim.run ~graph ~victim ~seed ~obs () in
+  (o, contents ())
+
+let test_run_twice_deterministic () =
+  let graph = Topo.Generators.clique 5 in
+  let o1, ev1 = mesh_trace ~graph ~victim:0 ~seed:7 in
+  let o2, ev2 = mesh_trace ~graph ~victim:0 ~seed:7 in
+  Alcotest.(check string) "identical event streams"
+    (Obs.Trace_digest.of_events ev1)
+    (Obs.Trace_digest.of_events ev2);
+  Alcotest.(check int) "victim messages" o1.victim_messages o2.victim_messages;
+  Alcotest.(check (float 0.)) "convergence end" o1.victim_convergence_end
+    o2.victim_convergence_end
+
+let test_mesh_trace_prefix_tagged () =
+  let graph = Topo.Generators.clique 5 in
+  let o, events = mesh_trace ~graph ~victim:2 ~seed:1 in
+  Alcotest.(check bool) "converged" true o.converged;
+  Alcotest.(check int) "one prefix per node" 5 (List.length o.prefixes);
+  let n_prefixes = List.length o.prefixes in
+  let tagged = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Obs.Event.Update_sent _ | Obs.Event.Update_recv _
+      | Obs.Event.Originate _ | Obs.Event.Withdrawal _ | Obs.Event.Fib_change _
+      | Obs.Event.Loop_detected _ | Obs.Event.Loop_resolved _ -> (
+          match Obs.Event.prefix e with
+          | Some p when p >= 0 && p < n_prefixes -> incr tagged
+          | Some p -> Alcotest.failf "prefix id %d out of range" p
+          | None -> Alcotest.failf "untagged per-prefix event: %s"
+                      (Obs.Event.to_json e))
+      | _ ->
+          Alcotest.(check bool) "non-prefix events untagged" true
+            (Obs.Event.prefix e = None))
+    events;
+  Alcotest.(check bool) "plenty of tagged events" true (!tagged > 100)
+
+(* --- QCheck: packed (prefix, peer) keys --- *)
+
+let prop_key_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"packed key round-trips"
+    QCheck.(
+      pair
+        (int_range 0 ((1 lsl 30) - 1))
+        (int_range 0 Bgp.Prefix.Key.max_peer))
+    (fun (id, peer) ->
+      let k = Bgp.Prefix.Key.pack ~id ~peer in
+      Bgp.Prefix.Key.id k = id && Bgp.Prefix.Key.peer k = peer)
+
+let prop_key_injective =
+  QCheck.Test.make ~count:1000 ~name:"packed key injective"
+    QCheck.(
+      pair
+        (pair (int_range 0 ((1 lsl 30) - 1)) (int_range 0 Bgp.Prefix.Key.max_peer))
+        (pair (int_range 0 ((1 lsl 30) - 1)) (int_range 0 Bgp.Prefix.Key.max_peer)))
+    (fun (((id1, peer1) as a), ((id2, peer2) as b)) ->
+      let k1 = Bgp.Prefix.Key.pack ~id:id1 ~peer:peer1 in
+      let k2 = Bgp.Prefix.Key.pack ~id:id2 ~peer:peer2 in
+      a = b = (k1 = k2))
+
+let test_key_range_extremes () =
+  let open Bgp.Prefix.Key in
+  let k = pack ~id:max_id ~peer:max_peer in
+  Alcotest.(check int) "max id survives" max_id (id k);
+  Alcotest.(check int) "max peer survives" max_peer (peer k);
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "peer over range rejected" true
+    (raises (fun () -> pack ~id:0 ~peer:(max_peer + 1)));
+  Alcotest.(check bool) "negative id rejected" true
+    (raises (fun () -> pack ~id:(-1) ~peer:0));
+  Alcotest.(check bool) "id over range rejected" true
+    (raises (fun () -> pack ~id:(max_id + 1) ~peer:0))
+
+(* --- QCheck: batched MRAI vs one naive timer per key --- *)
+
+type op = { at : float; key : int; msg : int }
+
+(* Deterministic interval, suppressed transmits for msg mod 5 = 0 (to
+   exercise the per-key drain loop), everything logged as (key, msg)
+   in transmit order. *)
+let run_batched ops =
+  let engine = Dessim.Engine.create () in
+  let sent = ref [] in
+  let since_fire = Hashtbl.create 8 in
+  let mrai =
+    Bgp.Mrai.create ~engine
+      ~on_fire:(fun () -> Hashtbl.reset since_fire)
+      ~draw_interval:(fun () -> 10.)
+      ~transmit:(fun (key, msg) ->
+        if msg mod 5 = 0 then false
+        else begin
+          (* "each pending key releases at most one message per expiry" *)
+          if Hashtbl.mem since_fire key then
+            failwith "key released twice in one expiry";
+          Hashtbl.add since_fire key ();
+          sent := (key, msg) :: !sent;
+          true
+        end)
+      ()
+  in
+  List.iter
+    (fun { at; key; msg } ->
+      ignore
+        (Dessim.Engine.schedule engine ~at (fun () ->
+             Bgp.Mrai.offer ~key mrai (key, msg))))
+    ops;
+  Dessim.Engine.run engine;
+  List.rev !sent
+
+let run_naive ops =
+  let engine = Dessim.Engine.create () in
+  let sent = ref [] in
+  let timers = Hashtbl.create 8 in
+  let timer_for key =
+    match Hashtbl.find_opt timers key with
+    | Some t -> t
+    | None ->
+        let t =
+          Bgp.Mrai.create ~engine
+            ~draw_interval:(fun () -> 10.)
+            ~transmit:(fun (key, msg) ->
+              if msg mod 5 = 0 then false
+              else begin
+                sent := (key, msg) :: !sent;
+                true
+              end)
+            ()
+        in
+        Hashtbl.add timers key t;
+        t
+  in
+  List.iter
+    (fun { at; key; msg } ->
+      ignore
+        (Dessim.Engine.schedule engine ~at (fun () ->
+             Bgp.Mrai.offer (timer_for key) (key, msg))))
+    ops;
+  Dessim.Engine.run engine;
+  List.rev !sent
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (map3
+         (fun at key msg -> { at = float_of_int at /. 2.; key; msg })
+         (int_range 0 50) (int_range 0 3) (int_range 0 30)))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (fun o -> Printf.sprintf "(%g,k%d,m%d)" o.at o.key o.msg)
+           ops))
+    gen_ops
+
+let prop_batched_mrai_equals_naive =
+  QCheck.Test.make ~count:200
+    ~name:"batched MRAI = one independent timer per key" arb_ops (fun ops ->
+      (* engine schedule order within an instant must agree: keep the
+         offers in nondecreasing time order *)
+      let ops = List.stable_sort (fun a b -> compare a.at b.at) ops in
+      run_batched ops = run_naive ops)
+
+(* --- QCheck: mesh streaming scans = N independent post-hoc scans --- *)
+
+let prop_mesh_scans_equal_posthoc =
+  QCheck.Test.make ~count:8 ~name:"mesh streaming scans = post-hoc scans"
+    QCheck.(pair (int_range 4 6) (int_range 1 500))
+    (fun (n, seed) ->
+      let graph = Topo.Generators.clique n in
+      let o = Bgp.Mesh_sim.run ~graph ~victim:(seed mod n) ~seed () in
+      o.converged
+      && List.for_all2
+           (fun (p, fib) (p', streamed) ->
+             Bgp.Prefix.equal p p'
+             && streamed
+                = Loopscan.Scanner.scan ~fib
+                    ~origin:(Bgp.Prefix.origin p)
+                    ~from:o.t_fail ())
+           o.prefixes o.loop_reports)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "mesh"
+    [
+      ( "differential",
+        [
+          tc "mesh(1 prefix) = multi on golden graphs"
+            test_differential_golden_graphs;
+          tc "mesh(1 prefix) = multi on 20 internet graphs"
+            test_differential_internet_sweep;
+          tc "run twice, identical trace" test_run_twice_deterministic;
+          tc "every per-prefix event tagged in range"
+            test_mesh_trace_prefix_tagged;
+        ] );
+      ( "packed-keys",
+        [
+          tc "range extremes" test_key_range_extremes;
+          QCheck_alcotest.to_alcotest prop_key_roundtrip;
+          QCheck_alcotest.to_alcotest prop_key_injective;
+        ] );
+      ( "batched-mrai",
+        [ QCheck_alcotest.to_alcotest prop_batched_mrai_equals_naive ] );
+      ( "loop-scans",
+        [ QCheck_alcotest.to_alcotest prop_mesh_scans_equal_posthoc ] );
+    ]

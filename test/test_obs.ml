@@ -11,7 +11,10 @@
      Counters.le. *)
 
 let ev_sent ~time ~src ~dst ~withdraw =
-  Obs.Event.Update_sent { time; src; dst; withdraw }
+  Obs.Event.Update_sent { time; src; dst; withdraw; prefix = None }
+
+let ev_sent_pfx ~prefix ~time ~src ~dst ~withdraw =
+  Obs.Event.Update_sent { time; src; dst; withdraw; prefix = Some prefix }
 
 (* --- events --- *)
 
@@ -22,15 +25,29 @@ let test_event_json_shapes () =
   Alcotest.(check string) "withdraw kind"
     {|{"ev":"update_recv","t":2,"node":3,"from":0,"kind":"withdraw"}|}
     (Obs.Event.to_json
-       (Obs.Event.Update_recv { time = 2.; node = 3; from = 0; withdraw = true }));
+       (Obs.Event.Update_recv
+          { time = 2.; node = 3; from = 0; withdraw = true; prefix = None }));
   Alcotest.(check string) "fib change to none"
     {|{"ev":"fib_change","t":0.25,"node":1,"next_hop":null}|}
     (Obs.Event.to_json
-       (Obs.Event.Fib_change { time = 0.25; node = 1; next_hop = None }));
+       (Obs.Event.Fib_change
+          { time = 0.25; node = 1; next_hop = None; prefix = None }));
   Alcotest.(check string) "loop members"
     {|{"ev":"loop_detected","t":3,"members":[1,2,4],"trigger":2}|}
     (Obs.Event.to_json
-       (Obs.Event.Loop_detected { time = 3.; members = [ 1; 2; 4 ]; trigger = 2 }))
+       (Obs.Event.Loop_detected
+          { time = 3.; members = [ 1; 2; 4 ]; trigger = 2; prefix = None }));
+  (* mesh runs tag per-prefix events with a trailing "pfx" field; the
+     tag must not disturb any byte before it *)
+  Alcotest.(check string) "prefix tag appended"
+    {|{"ev":"update_sent","t":1.5,"src":0,"dst":3,"kind":"announce","pfx":42}|}
+    (Obs.Event.to_json
+       (ev_sent_pfx ~prefix:42 ~time:1.5 ~src:0 ~dst:3 ~withdraw:false));
+  Alcotest.(check string) "prefix tag on fib change"
+    {|{"ev":"fib_change","t":0.25,"node":1,"next_hop":4,"pfx":0}|}
+    (Obs.Event.to_json
+       (Obs.Event.Fib_change
+          { time = 0.25; node = 1; next_hop = Some 4; prefix = Some 0 }))
 
 let test_event_accessors () =
   let e = ev_sent ~time:7.25 ~src:1 ~dst:2 ~withdraw:true in
@@ -106,7 +123,8 @@ let test_jsonl_file_digest_matches_events () =
       let events =
         [
           ev_sent ~time:0.5 ~src:0 ~dst:1 ~withdraw:false;
-          Obs.Event.Fib_change { time = 1.; node = 1; next_hop = Some 0 };
+          Obs.Event.Fib_change
+            { time = 1.; node = 1; next_hop = Some 0; prefix = None };
         ]
       in
       let sink = Obs.Sink.jsonl_file path in
@@ -121,17 +139,26 @@ let test_jsonl_file_digest_matches_events () =
 let all_constructor_events =
   [
     ev_sent ~time:1.5 ~src:0 ~dst:3 ~withdraw:false;
-    Obs.Event.Update_recv { time = 2.; node = 3; from = 0; withdraw = true };
-    Obs.Event.Originate { time = 0.; node = 7 };
-    Obs.Event.Withdrawal { time = 0.125; node = 2 };
-    Obs.Event.Fib_change { time = 0.25; node = 1; next_hop = None };
-    Obs.Event.Fib_change { time = 0.25; node = 1; next_hop = Some 4 };
+    ev_sent_pfx ~prefix:12109 ~time:1.5 ~src:0 ~dst:3 ~withdraw:false;
+    Obs.Event.Update_recv
+      { time = 2.; node = 3; from = 0; withdraw = true; prefix = None };
+    Obs.Event.Update_recv
+      { time = 2.; node = 3; from = 0; withdraw = true; prefix = Some 0 };
+    Obs.Event.Originate { time = 0.; node = 7; prefix = None };
+    Obs.Event.Originate { time = 0.; node = 7; prefix = Some 7 };
+    Obs.Event.Withdrawal { time = 0.125; node = 2; prefix = None };
+    Obs.Event.Fib_change
+      { time = 0.25; node = 1; next_hop = None; prefix = None };
+    Obs.Event.Fib_change
+      { time = 0.25; node = 1; next_hop = Some 4; prefix = Some 109 };
     Obs.Event.Mrai_fire { time = 30.000000000001; node = 5; peer = 6 };
     Obs.Event.Node_busy { time = 3.5; node = 2; depth = 9 };
     Obs.Event.Link_state { time = 4.; a = 1; b = 2; up = false };
     Obs.Event.Msg_dropped { time = 5.; a = 2; b = 3; reason = Obs.Event.Loss };
-    Obs.Event.Loop_detected { time = 6.; members = []; trigger = 0 };
-    Obs.Event.Loop_resolved { time = 7.; members = List.init 300 Fun.id };
+    Obs.Event.Loop_detected
+      { time = 6.; members = []; trigger = 0; prefix = None };
+    Obs.Event.Loop_resolved
+      { time = 7.; members = List.init 300 Fun.id; prefix = Some 3 };
   ]
 
 let test_binary_roundtrip_all_constructors () =
@@ -155,9 +182,19 @@ let test_binary_rejects_corruption () =
     (fails (fun () -> Obs.Binary.decode_all "not a trace at all"));
   Alcotest.(check bool) "short header" true
     (fails (fun () -> Obs.Binary.decode_all "BGP"));
-  let future = "BGPTRACE\042" in
-  Alcotest.(check bool) "unknown version" true
-    (fails (fun () -> Obs.Binary.decode_all future));
+  (* version mismatches raise the structured exception, not Failure:
+     callers (churn resume, trace decode) match on it to give the
+     "re-encode or re-run" advice *)
+  let version_mismatch ~found stream =
+    match Obs.Binary.decode_all stream with
+    | _ -> Alcotest.fail "version mismatch not rejected"
+    | exception Obs.Binary.Unsupported_version { found = f; expected } ->
+        Alcotest.(check int) "found version reported" found f;
+        Alcotest.(check int) "expected = current" Obs.Binary.version expected
+  in
+  version_mismatch ~found:42 "BGPTRACE\042";
+  (* a v1 stream (pre prefix-field bump) must be rejected up front *)
+  version_mismatch ~found:1 "BGPTRACE\001";
   let frame = Obs.Binary.encode_string (List.hd all_constructor_events) in
   let truncated =
     Obs.Binary.header ^ String.sub frame 0 (String.length frame - 1)
@@ -229,21 +266,23 @@ let gen_event =
     oneofl [ Obs.Event.Down; Obs.Event.Loss; Obs.Event.Stale_epoch ]
   in
   let b = bool in
+  let prefix = oneof [ return None; map Option.some small_nat ] in
   oneof
     [
-      map (fun (time, src, dst, withdraw) ->
-          Obs.Event.Update_sent { time; src; dst; withdraw })
-        (quad time node node b);
-      map (fun (time, node, from, withdraw) ->
-          Obs.Event.Update_recv { time; node; from; withdraw })
-        (quad time node node b);
-      map (fun (time, node) -> Obs.Event.Originate { time; node })
-        (pair time node);
-      map (fun (time, node) -> Obs.Event.Withdrawal { time; node })
-        (pair time node);
-      map (fun (time, node, next_hop) ->
-          Obs.Event.Fib_change { time; node; next_hop })
-        (triple time node (option node));
+      map (fun ((time, src, dst, withdraw), prefix) ->
+          Obs.Event.Update_sent { time; src; dst; withdraw; prefix })
+        (pair (quad time node node b) prefix);
+      map (fun ((time, node, from, withdraw), prefix) ->
+          Obs.Event.Update_recv { time; node; from; withdraw; prefix })
+        (pair (quad time node node b) prefix);
+      map (fun (time, node, prefix) -> Obs.Event.Originate { time; node; prefix })
+        (triple time node prefix);
+      map (fun (time, node, prefix) ->
+          Obs.Event.Withdrawal { time; node; prefix })
+        (triple time node prefix);
+      map (fun ((time, node, next_hop), prefix) ->
+          Obs.Event.Fib_change { time; node; next_hop; prefix })
+        (pair (triple time node (option node)) prefix);
       map (fun (time, node, peer) -> Obs.Event.Mrai_fire { time; node; peer })
         (triple time node node);
       map (fun (time, node, depth) -> Obs.Event.Node_busy { time; node; depth })
@@ -253,11 +292,12 @@ let gen_event =
       map (fun (time, a, b', reason) ->
           Obs.Event.Msg_dropped { time; a; b = b'; reason })
         (quad time node node reason);
-      map (fun (time, members, trigger) ->
-          Obs.Event.Loop_detected { time; members; trigger })
-        (triple time members node);
-      map (fun (time, members) -> Obs.Event.Loop_resolved { time; members })
-        (pair time members);
+      map (fun ((time, members, trigger), prefix) ->
+          Obs.Event.Loop_detected { time; members; trigger; prefix })
+        (pair (triple time members node) prefix);
+      map (fun (time, members, prefix) ->
+          Obs.Event.Loop_resolved { time; members; prefix })
+        (triple time members prefix);
     ]
 
 let arb_event =
