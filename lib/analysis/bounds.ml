@@ -65,6 +65,7 @@ let derive ~graph ~origin ~mrai ~params ?enumeration ?clique ?(epochs = 1)
         | None -> (Stdlib.max 0 (n - 1), false, infinity, infinity))
   in
   let mrai_rounds =
+    (* bgpsim-lint: allow D004 — infinity is an exact sentinel, not a computed time *)
     if rank_max = infinity then infinity else rank_max +. 2.
   in
   let deg_max =
@@ -73,6 +74,7 @@ let derive ~graph ~origin ~mrai ~params ?enumeration ?clique ?(epochs = 1)
       0 (Topo.Graph.nodes graph)
   in
   let time_bound_s =
+    (* bgpsim-lint: allow D004 — infinity is an exact sentinel, not a computed time *)
     if mrai_rounds = infinity then infinity
     else
       let per_epoch =
@@ -88,6 +90,7 @@ let derive ~graph ~origin ~mrai ~params ?enumeration ?clique ?(epochs = 1)
     else Heuristic
   in
   let updates_bound =
+    (* bgpsim-lint: allow D004 — infinity is an exact sentinel, not a computed time *)
     if mrai_rounds = infinity then infinity
     else
       float_of_int epochs
@@ -134,6 +137,7 @@ let check ?(include_heuristic = false) t ~convergence_time ~updates_sent =
   List.rev !violations
 
 let pp_count fmt x =
+  (* bgpsim-lint: allow D004 — infinity is an exact sentinel, not a computed time *)
   if x = infinity then Format.fprintf fmt "unbounded"
   else if x < 1e15 then Format.fprintf fmt "%.0f" x
   else Format.fprintf fmt "%.3g" x
@@ -145,6 +149,7 @@ let pp fmt t =
     t.exploration_depth
     (if t.depth_exact then "" else " (generic)")
     pp_count t.rank_max pp_count t.paths_total pp_count t.mrai_rounds
+    (* bgpsim-lint: allow D004 — infinity is an exact sentinel, not a computed time *)
     (if t.time_bound_s = infinity then "unbounded"
      else Printf.sprintf "%.2fs" t.time_bound_s)
     (certainty_name t.time_certainty)

@@ -29,6 +29,7 @@ let group_by_time steps =
   List.fold_left
     (fun groups (s : Faults.Scenario.step) ->
       match groups with
+      (* bgpsim-lint: allow D004 — same-instant grouping; equal times are copies of one value *)
       | (t, batch) :: rest when t = s.at -> (t, s :: batch) :: rest
       | _ -> (s.at, [ s ]) :: groups)
     [] steps
@@ -151,6 +152,7 @@ let lint (scenario : Faults.Scenario.t) ~graph ~origin =
       let blocked_nodes =
         List.filter (fun v -> crashed.(v)) (List.init n Fun.id)
       in
+      (* bgpsim-lint: allow D001 — Graph.reachable consumes this as a set *)
       let blocked_links = Hashtbl.fold (fun l () acc -> l :: acc) failed [] in
       let reach =
         Topo.Graph.reachable graph ~from:origin ~blocked_nodes ~blocked_links

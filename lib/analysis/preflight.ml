@@ -87,6 +87,7 @@ let json_escape s =
 let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
 
 let jfloat x =
+  (* bgpsim-lint: allow D004 — infinity is an exact sentinel, not a computed time *)
   if x = infinity then "null"
   else if Float.is_integer x && Float.abs x < 1e15 then
     Printf.sprintf "%.0f" x

@@ -305,6 +305,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default)
       if scenario.msg_loss > 0. || scenario.msg_dup > 0. then begin
         let chaos_rng = Dessim.Rng.split root_rng ~label:"chaos" in
         schedule_at t_fail (fun () ->
+            (* bgpsim-lint: allow D001 — independent per-link set_chaos writes *)
             Hashtbl.iter
               (fun _key link ->
                 Netcore.Link.set_chaos link ~loss:scenario.msg_loss

@@ -343,6 +343,7 @@ let rec schedule_reuse t st =
   | Some _ ->
       let now = Dessim.Engine.now t.engine in
       let earliest =
+        (* bgpsim-lint: allow D001 — commutative Float.min over a read-only fold *)
         Hashtbl.fold
           (fun peer d acc ->
             if Hashtbl.mem t.rib_in (Prefix.Key.pack ~id:st.pid ~peer) then
@@ -479,6 +480,7 @@ let crash t =
     Peer_table.clear t.live_peers;
     (* all protocol state is lost: pending MRAI transmissions and
        damping reuse timers must not fire for a dead node *)
+    (* bgpsim-lint: allow D001 — Mrai.reset only touches its own peer's state *)
     Hashtbl.iter (fun _peer out -> Mrai.reset out.mrai) t.outs;
     iter_dests t (fun st ->
         Option.iter Dessim.Engine.cancel st.reuse_timer;
@@ -541,17 +543,16 @@ let suppressed_peers t prefix =
   match find_dest t prefix with
   | None -> []
   | Some st ->
-      Hashtbl.fold
-        (fun peer _ acc ->
-          if peer_suppressed t st peer then peer :: acc else acc)
-        st.damp []
-      |> List.sort compare
+      Hashtbl.to_seq_keys st.damp |> List.of_seq
+      |> List.filter (peer_suppressed t st)
+      |> List.sort Int.compare
 
 let prefix_table t = t.prefixes
 
 (* --- quiescence, arena compaction, checkpointing --- *)
 
 let quiescent t =
+  (* bgpsim-lint: allow D001 — read-only (&&) over per-peer predicates *)
   Hashtbl.fold
     (fun _peer out acc ->
       acc
@@ -566,10 +567,15 @@ let quiescent t =
    [As_path.equal] falls back to structural comparison across arenas.
    Only safe at quiescence: MRAI queues and in-flight engine events
    may hold handles this walk cannot reach. *)
-let remap_flat table ~f =
-  let entries = Hashtbl.fold (fun key path acc -> (key, path) :: acc) table [] in
-  (* stdlib [replace] updates the bucket cell in place, so table
-     structure (and hence iteration order) is untouched *)
+let remap_flat (table : (int, 'p) Hashtbl.t) ~f =
+  let entries =
+    Hashtbl.to_seq table |> List.of_seq
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  (* sorted by packed key so [f] (typically a reintern into a fresh
+     arena) sees entries in the same order on every run; stdlib
+     [replace] updates the bucket cell in place, so table structure is
+     untouched *)
   List.iter (fun (key, path) -> Hashtbl.replace table key (f path)) entries
 
 let remap_paths t ~f =
@@ -639,7 +645,7 @@ let snapshot t =
                  st.best;
              sn_advertised = shard_entries t.advertised st.pid;
            })
-    |> List.sort (fun a b -> compare a.sn_prefix b.sn_prefix)
+    |> List.sort (fun a b -> Prefix.compare a.sn_prefix b.sn_prefix)
   in
   {
     sn_node = t.node;

@@ -461,10 +461,9 @@ let run ?(watchdog = Faults.Watchdog.unlimited) ?on_epoch ?resume_from ?sink
   in
   let write_checkpoint dir =
     let links_down =
-      Hashtbl.fold
-        (fun key link acc ->
-          if Netcore.Link.is_up link then acc else key :: acc)
-        links []
+      Hashtbl.to_seq links |> List.of_seq
+      |> List.filter_map (fun (key, link) ->
+             if Netcore.Link.is_up link then None else Some key)
       |> List.sort compare |> Array.of_list
     in
     let scan_state =

@@ -92,5 +92,6 @@ let generate t ~graph ~rng =
            { at; action = Fault action })
   in
   List.stable_sort
+    (* bgpsim-lint: allow D004 — Float.compare as a total order; ties stay stable *)
     (fun a b -> Float.compare a.at b.at)
     (fault_steps @ List.rev !origin_steps)

@@ -56,6 +56,7 @@ let sift_up t i time seq item =
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
     let pt = Array.unsafe_get t.times parent in
+    (* bgpsim-lint: allow D004 — bitwise-equal keys tie-break on the seq number *)
     if time < pt || (time = pt && seq < Array.unsafe_get t.seqs parent) then begin
       Array.unsafe_set t.times !i pt;
       Array.unsafe_set t.seqs !i (Array.unsafe_get t.seqs parent);
@@ -77,6 +78,7 @@ let sift_down t i time seq item =
     let bt = ref time and bs = ref seq in
     if l < t.size then begin
       let lt = Array.unsafe_get t.times l in
+      (* bgpsim-lint: allow D004 — bitwise-equal keys tie-break on the seq number *)
       if lt < !bt || (lt = !bt && Array.unsafe_get t.seqs l < !bs) then begin
         smallest := l;
         bt := lt;
@@ -85,6 +87,7 @@ let sift_down t i time seq item =
     end;
     if r < t.size then begin
       let rt = Array.unsafe_get t.times r in
+      (* bgpsim-lint: allow D004 — bitwise-equal keys tie-break on the seq number *)
       if rt < !bt || (rt = !bt && Array.unsafe_get t.seqs r < !bs) then
         smallest := r
     end;

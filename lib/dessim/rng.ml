@@ -18,6 +18,7 @@ let float t bound =
 
 let uniform t ~lo ~hi =
   if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  (* bgpsim-lint: allow D004 — exact degenerate-interval guard on user bounds *)
   if hi = lo then lo else lo +. Random.State.float t (hi -. lo)
 
 let int t bound =

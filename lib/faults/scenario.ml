@@ -53,6 +53,7 @@ let resolution_issues t ~graph =
       issue "Scenario: %s outside [0, 1]" what
   in
   let check_time what at =
+    (* bgpsim-lint: allow D004 — infinity is an exact sentinel in input validation *)
     if Float.is_nan at || at < 0. || at = infinity then
       issue "Scenario: %s time %g invalid" what at
   in
@@ -78,6 +79,7 @@ let resolution_issues t ~graph =
       | Flap_storm { link; start; period; count } ->
           check_time "storm start" start;
           check_link link;
+          (* bgpsim-lint: allow D004 — infinity is an exact sentinel in input validation *)
           if period <= 0. || Float.is_nan period || period = infinity then
             issue "Scenario: storm period must be positive and finite";
           if count <= 0 then issue "Scenario: storm count must be positive"
@@ -94,6 +96,7 @@ let resolution_issues t ~graph =
             issue "Scenario: random failure count must be positive";
           if count > Topo.Graph.n_edges graph then
             issue "Scenario: more random failures than edges";
+          (* bgpsim-lint: allow D004 — infinity is an exact sentinel in input validation *)
           if window <= 0. || Float.is_nan window || window = infinity then
             issue "Scenario: random failure window must be positive";
           Option.iter
@@ -134,6 +137,7 @@ let expand_spec = function
                 links))
   | Random_link_failures _ -> None
 
+(* bgpsim-lint: allow D004 — Float.compare as a total order for a stable sort *)
 let sort_steps = List.stable_sort (fun s1 s2 -> Float.compare s1.at s2.at)
 
 let expand_deterministic t =

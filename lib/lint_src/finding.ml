@@ -1,0 +1,30 @@
+type t = {
+  rule : Rule.t;
+  file : string;
+  line : int;
+  col : int;
+  witness : string;
+}
+
+let make ~rule ~file ~line ~col ~witness = { rule; file; line; col; witness }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = Rule.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.witness b.witness
+
+let equal a b = compare a b = 0
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: %s %s [%s]" f.file f.line f.col (Rule.id f.rule)
+    (Rule.title f.rule) f.witness
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

@@ -1,0 +1,23 @@
+(** A single lint finding: rule, source position and a witness string
+    describing what was seen (the resolved path and its instantiated
+    type, the toplevel binding, ...). *)
+
+type t = {
+  rule : Rule.t;
+  file : string;  (** path as recorded by the compiler, repo-relative *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  witness : string;
+}
+
+val make : rule:Rule.t -> file:string -> line:int -> col:int -> witness:string -> t
+
+val compare : t -> t -> int
+(** Orders by file, line, col, rule, witness — the report order. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["file:line:col: D001 title [witness]"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,253 @@
+(* Known-bad (and known-good) snippets, one per rule, compiled with
+   `ocamlc -bin-annot` into a scratch directory at check time and fed
+   through the same cmt pass as the real tree.  This keeps the rule
+   implementations honest: a rule that silently stops firing breaks
+   the corpus, not just future regressions. *)
+
+type expect =
+  | Fires of Rule.t  (* at least one open finding of this rule *)
+  | Clean  (* no findings at all *)
+  | Suppressed of Rule.t  (* the rule fires but a comment suppresses it *)
+
+type fixture = { name : string; expect : expect; code : string }
+
+let all =
+  [
+    {
+      name = "fix_d001_bad";
+      expect = Fires Rule.D001;
+      code =
+        "let sum_values (h : (int, int) Hashtbl.t) =\n\
+         \  Hashtbl.fold (fun _k v acc -> v :: acc) h []\n";
+    };
+    {
+      name = "fix_d001_iter_bad";
+      expect = Fires Rule.D001;
+      code =
+        "let print_all (h : (int, string) Hashtbl.t) =\n\
+         \  Hashtbl.iter (fun k v -> Printf.printf \"%d=%s\\n\" k v) h\n";
+    };
+    {
+      name = "fix_d001_good";
+      expect = Clean;
+      code =
+        "let sorted_bindings (h : (int, string) Hashtbl.t) =\n\
+         \  Hashtbl.to_seq h |> List.of_seq\n\
+         \  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)\n";
+    };
+    {
+      name = "fix_d002_bad";
+      expect = Fires Rule.D002;
+      code =
+        "module As_path = struct\n\
+         \  type t = { id : int; hash : int }\n\
+         \  let make id = { id; hash = id * 7 }\n\
+         end\n\
+         let smaller (a : As_path.t) (b : As_path.t) = compare a b < 0\n\
+         let _ = smaller (As_path.make 1) (As_path.make 2)\n";
+    };
+    {
+      name = "fix_d002_equal_bad";
+      expect = Fires Rule.D002;
+      code =
+        "module Prefix = struct\n\
+         \  type t = { origin : int; index : int }\n\
+         \  let make origin = { origin; index = 0 }\n\
+         end\n\
+         let same (a : Prefix.t) (b : Prefix.t) = a = b\n\
+         let _ = same (Prefix.make 1) (Prefix.make 1)\n";
+    };
+    {
+      name = "fix_d003_bad";
+      expect = Fires Rule.D003;
+      code = "let roll () = Random.int 6\n";
+    };
+    {
+      name = "fix_d004_bad";
+      expect = Fires Rule.D004;
+      code = "let at_same_vtime (a : float) (b : float) = a = b\n";
+    };
+    {
+      name = "fix_d004_compare_bad";
+      expect = Fires Rule.D004;
+      code = "let order (a : float) (b : float) = compare a b\n";
+    };
+    {
+      name = "fix_d004_good";
+      expect = Clean;
+      code =
+        "let before (a : float) (b : float) = a < b\n\
+         let close a b = Float.abs (a -. b) < 1e-9\n";
+    };
+    {
+      name = "fix_r001_bad";
+      expect = Fires Rule.R001;
+      code = "let cache : (int, string) Hashtbl.t = Hashtbl.create 16\n";
+    };
+    {
+      name = "fix_r001_ref_bad";
+      expect = Fires Rule.R001;
+      code = "let counter = ref 0\nlet bump () = incr counter\n";
+    };
+    {
+      name = "fix_r001_record_bad";
+      expect = Fires Rule.R001;
+      code =
+        "type cell = { mutable hits : int }\n\
+         let state = { hits = 0 }\n\
+         let bump () = state.hits <- state.hits + 1\n";
+    };
+    {
+      name = "fix_r001_shadow_good";
+      expect = Clean;
+      code =
+        "type t = { x : int }\n\
+         module Inner = struct\n\
+         \  type nonrec t = { mutable y : int }\n\
+         \  let read (r : t) = r.y\n\
+         end\n\
+         let top : t = { x = 1 }\n\
+         let _ = (top, Inner.read)\n";
+    };
+    {
+      name = "fix_r001_good";
+      expect = Clean;
+      code =
+        "type sim = { steps : int }\n\
+         let run sim =\n\
+         \  let seen = Hashtbl.create 16 in\n\
+         \  Hashtbl.replace seen sim.steps ();\n\
+         \  Hashtbl.length seen\n";
+    };
+    {
+      name = "fix_m001_bad";
+      expect = Fires Rule.M001;
+      code =
+        "let load (ic : in_channel) : string = Marshal.from_channel ic\n";
+    };
+    {
+      name = "fix_m001_good";
+      expect = Clean;
+      code =
+        "let expected_version = 3\n\
+         let load (ic : in_channel) : string =\n\
+         \  let v = int_of_string (input_line ic) in\n\
+         \  if v <> expected_version then failwith \"bad checkpoint version\";\n\
+         \  Marshal.from_channel ic\n";
+    };
+    {
+      name = "fix_d001_suppressed";
+      expect = Suppressed Rule.D001;
+      code =
+        "let total (h : (int, int) Hashtbl.t) =\n\
+         \  (* bgpsim-lint: allow D001 \xe2\x80\x94 integer addition is \
+         commutative; iteration order cannot leak *)\n\
+         \  Hashtbl.fold (fun _k v acc -> acc + v) h 0\n";
+    };
+  ]
+
+let ocamlc_available () = Sys.command "ocamlc -version > /dev/null 2>&1" = 0
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let compile ~dir fx =
+  let ml = Filename.concat dir (fx.name ^ ".ml") in
+  write_file ml fx.code;
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -bin-annot -w -a -c %s > /dev/null 2>&1"
+      (Filename.quote dir)
+      (Filename.quote (fx.name ^ ".ml"))
+  in
+  if Sys.command cmd <> 0 then
+    Error (Printf.sprintf "fixture %s does not compile" fx.name)
+  else Ok (Filename.concat dir (fx.name ^ ".cmt"))
+
+(* Analyze one fixture: compile, run the pass, apply its own
+   suppression comments (fixtures carry no allowlist). *)
+let run ~dir fx =
+  match compile ~dir fx with
+  | Error _ as e -> e
+  | Ok cmt -> (
+      match Analyze.analyze_cmt cmt with
+      | Error _ as e -> e
+      | Ok (_unit, findings) ->
+          (* the cmt records the bare file name; resolve it in [dir] *)
+          let scan_source file =
+            Suppress.scan_file (Filename.concat dir (Filename.basename file))
+          in
+          Ok (Report.build ~findings ~scan_source ~allows:[] ~allow_errors:[]))
+
+let check_one ~dir fx =
+  match run ~dir fx with
+  | Error e -> Error e
+  | Ok report -> (
+      let opens =
+        List.filter (fun e -> e.Report.status = Report.Open) report.entries
+      in
+      let has_open rule =
+        List.exists (fun e -> e.Report.finding.Finding.rule = rule) opens
+      in
+      let has_suppressed rule =
+        List.exists
+          (fun e ->
+            e.Report.finding.Finding.rule = rule
+            && e.Report.status <> Report.Open)
+          report.entries
+      in
+      match fx.expect with
+      | Fires rule ->
+          if has_open rule then Ok ()
+          else
+            Error
+              (Printf.sprintf "fixture %s: expected an open %s finding, got %s"
+                 fx.name (Rule.id rule)
+                 (Report.to_text ~show_suppressed:true report))
+      | Clean ->
+          if report.entries = [] then Ok ()
+          else
+            Error
+              (Printf.sprintf "fixture %s: expected no findings, got %s"
+                 fx.name
+                 (Report.to_text ~show_suppressed:true report))
+      | Suppressed rule ->
+          if has_suppressed rule && not (has_open rule) then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "fixture %s: expected %s suppressed by comment, got %s"
+                 fx.name (Rule.id rule)
+                 (Report.to_text ~show_suppressed:true report)))
+
+let with_scratch_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bgpsim-lint-fixtures-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let check_all () =
+  if not (ocamlc_available ()) then
+    Error [ "ocamlc not found on PATH; cannot compile the fixture corpus" ]
+  else
+    with_scratch_dir (fun dir ->
+        let failures =
+          List.filter_map
+            (fun fx ->
+              match check_one ~dir fx with Ok () -> None | Error e -> Some e)
+            all
+        in
+        if failures = [] then Ok (List.length all) else Error failures)

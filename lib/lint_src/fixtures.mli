@@ -1,0 +1,26 @@
+(** The known-bad fixture corpus: one snippet per rule id (plus good
+    twins and a suppression case), compiled with [ocamlc -bin-annot]
+    into a scratch directory and run through the same cmt pass as the
+    real tree.  Exercised by [test_lint_src] and
+    [bgpsim_lint --selftest]. *)
+
+type expect =
+  | Fires of Rule.t
+  | Clean
+  | Suppressed of Rule.t
+
+type fixture = { name : string; expect : expect; code : string }
+
+val all : fixture list
+
+val ocamlc_available : unit -> bool
+
+val run : dir:string -> fixture -> (Report.t, string) result
+(** Compile the fixture in [dir], analyze its cmt and classify the
+    findings against the fixture's own suppression comments. *)
+
+val check_one : dir:string -> fixture -> (unit, string) result
+
+val check_all : unit -> (int, string list) result
+(** Run every fixture in a scratch directory; [Ok n] is the corpus
+    size, [Error] collects per-fixture failures. *)

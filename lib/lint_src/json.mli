@@ -1,0 +1,25 @@
+(** Minimal JSON tree, emitter and parser — just enough for the lint
+    report's [--json] output to round-trip without an external
+    dependency.  The emitter is deterministic; raw UTF-8 bytes in
+    strings pass through both directions unchanged. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val to_str : t -> string option
+
+val to_int : t -> int option
+
+val to_list : t -> t list option

@@ -1,0 +1,50 @@
+type t = D001 | D002 | D003 | D004 | R001 | M001
+
+let all = [ D001; D002; D003; D004; R001; M001 ]
+
+let id = function
+  | D001 -> "D001"
+  | D002 -> "D002"
+  | D003 -> "D003"
+  | D004 -> "D004"
+  | R001 -> "R001"
+  | M001 -> "M001"
+
+let of_id = function
+  | "D001" -> Some D001
+  | "D002" -> Some D002
+  | "D003" -> Some D003
+  | "D004" -> Some D004
+  | "R001" -> Some R001
+  | "M001" -> Some M001
+  | _ -> None
+
+let title = function
+  | D001 -> "order-sensitive Hashtbl.iter/fold"
+  | D002 -> "polymorphic compare/equality/hash at an interned-handle type"
+  | D003 -> "Stdlib.Random outside Dessim.Rng"
+  | D004 -> "float equality/compare on a virtual-time-shaped value"
+  | R001 -> "mutable toplevel state in a worker-reachable module"
+  | M001 -> "Marshal read without a version guard"
+
+let fix_hint = function
+  | D001 ->
+      "iterate in a deterministic order: Hashtbl.to_seq |> List.of_seq |> \
+       List.sort ..., or suppress with a written order-insensitivity argument"
+  | D002 ->
+      "use the type's own compare/equal/hash (As_path.equal, Prefix.compare, \
+       ...): polymorphic compare reads arena ids and handle internals"
+  | D003 ->
+      "draw from a seeded Dessim.Rng stream; the global Random state breaks \
+       run isolation and parallel determinism"
+  | D004 ->
+      "virtual times are computed floats: compare with an ordering (<, <=) \
+       or an explicit tolerance, or suppress with an exactness argument"
+  | R001 ->
+      "module-level refs/tables are shared by every domain running this \
+       code; move the state into the simulation record or a Domain.DLS key"
+  | M001 ->
+      "check a version/magic header before unmarshalling: a stale blob read \
+       into a changed type corrupts memory silently"
+
+let compare a b = String.compare (id a) (id b)

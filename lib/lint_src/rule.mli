@@ -1,0 +1,32 @@
+(** Stable rule identifiers for the determinism & domain-safety source
+    linter (DESIGN.md §16).
+
+    - D001: order-sensitive [Hashtbl.iter]/[Hashtbl.fold].
+    - D002: polymorphic [compare]/[=]/[Hashtbl.hash] instantiated at a
+      type mentioning an interned handle ([As_path.t], [Prefix.t],
+      [Obs.Event.t]).
+    - D003: [Stdlib.Random] outside [Dessim.Rng].
+    - D004: float equality / three-way compare at type [float]
+      (virtual-time values are computed floats).
+    - R001: mutable toplevel state in a module reachable from
+      [Core.Parallel] sweep workers.
+    - M001: [Marshal]/[input_value] read without a preceding
+      version-guard reference. *)
+
+type t = D001 | D002 | D003 | D004 | R001 | M001
+
+val all : t list
+(** In id order. *)
+
+val id : t -> string
+(** The stable id, e.g. ["D001"]. *)
+
+val of_id : string -> t option
+
+val title : t -> string
+(** One-line description used in reports. *)
+
+val fix_hint : t -> string
+(** What a fix (or an honest suppression) looks like. *)
+
+val compare : t -> t -> int

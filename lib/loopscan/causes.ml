@@ -10,6 +10,7 @@ let classify ~trace report =
     match
       Netcore.Trace.last_process_at trace ~node:l.trigger ~at_or_before:l.birth
     with
+    (* bgpsim-lint: allow D004 — identity check: both times come from the same trace record *)
     | Some p when p.time = l.birth -> (
         (* the FIB change happened at the instant this message finished
            processing: it is the trigger *)

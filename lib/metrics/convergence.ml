@@ -38,7 +38,8 @@ let churn_timeline ~fib ~from ~bucket =
       Hashtbl.replace tbl bin
         (1 + Option.value (Hashtbl.find_opt tbl bin) ~default:0))
     (Netcore.Fib_history.changes_from fib ~from);
-  Hashtbl.fold (fun bin count acc -> ((from +. (bin *. bucket)), count) :: acc) tbl []
+  Hashtbl.to_seq tbl |> List.of_seq
+  |> List.map (fun (bin, count) -> (from +. (bin *. bucket), count))
   |> List.sort compare
 
 let pp fmt t =

@@ -1,4 +1,4 @@
-let glyphs = [| ' '; '.'; '-'; '='; '+'; '*'; '#'; '@' |]
+let glyphs = " .-=+*#@"
 
 let bucketize ~values ~from ~until ~width =
   if until <= from then invalid_arg "Timeline.bucketize: empty window";
@@ -39,9 +39,9 @@ let sparkline ?(width = 60) series =
           let level =
             int_of_float
               (Float.round
-                 (cols.(i) /. peak *. float_of_int (Array.length glyphs - 1)))
+                 (cols.(i) /. peak *. float_of_int (String.length glyphs - 1)))
           in
-          glyphs.(Stdlib.max 0 (Stdlib.min level (Array.length glyphs - 1))))
+          glyphs.[Stdlib.max 0 (Stdlib.min level (String.length glyphs - 1))])
   end
 
 let loops_band ~loops ~from ~until ~width =

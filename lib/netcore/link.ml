@@ -40,6 +40,7 @@ let set_chaos t ?(loss = 0.) ?(dup = 0.) ~rng () =
   in
   check "loss" loss;
   check "dup" dup;
+  (* bgpsim-lint: allow D004 — exact zero test on user-supplied probabilities *)
   t.chaos <- (if loss = 0. && dup = 0. then None else Some { loss; dup; rng })
 
 let set_epoch_guard t on = t.epoch_guard <- on

@@ -70,10 +70,11 @@ let reason_byte : Event.drop_reason -> char = function
   | Event.Loss -> '\001'
   | Event.Stale_epoch -> '\002'
 
-(* Payloads are appended to [scratch] first so the frame's length
-   prefix can be written before the payload bytes without a second
-   pass.  Encoding is single-threaded per buffer, like Buffer itself. *)
-let scratch = Buffer.create 256
+(* Payloads are appended to a scratch buffer first so the frame's
+   length prefix can be written before the payload bytes without a
+   second pass.  The buffer is per-domain (Domain.DLS): encoders in
+   parallel sweep workers must not share one scratch area. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Buffer.create 256)
 
 let add_payload buf (ev : Event.t) =
   match ev with
@@ -142,6 +143,7 @@ let add_payload buf (ev : Event.t) =
       add_opt_int buf prefix
 
 let encode buf ev =
+  let scratch = Domain.DLS.get scratch_key in
   Buffer.clear scratch;
   add_payload scratch ev;
   add_varint buf (Buffer.length scratch);

@@ -119,9 +119,9 @@ type snapshot = {
 
 let snapshot t =
   let nodes =
-    Hashtbl.fold (fun i pn acc -> (i, { pn with msgs_sent = pn.msgs_sent }) :: acc)
-      t.nodes []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    Hashtbl.to_seq t.nodes |> List.of_seq
+    |> List.map (fun (i, pn) -> (i, { pn with msgs_sent = pn.msgs_sent }))
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   {
     s_updates_sent = t.updates_sent;
@@ -155,8 +155,8 @@ let merge a b =
   List.iter add a.s_nodes;
   List.iter add b.s_nodes;
   let nodes =
-    Hashtbl.fold (fun i pn acc -> (i, pn) :: acc) tbl []
-    |> List.sort (fun (x, _) (y, _) -> compare x y)
+    Hashtbl.to_seq tbl |> List.of_seq
+    |> List.sort (fun (x, _) (y, _) -> Int.compare x y)
   in
   {
     s_updates_sent = a.s_updates_sent + b.s_updates_sent;

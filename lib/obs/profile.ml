@@ -53,18 +53,18 @@ let step t ~time ~tag ~run =
   record t ~tag ~time ~wall_s
 
 let merge_into ~src ~dst =
-  Hashtbl.iter
-    (fun tag (ks : kind_stats) ->
-      let acc = kind_stats dst tag in
-      acc.count <- acc.count + ks.count;
-      acc.wall_total_s <- acc.wall_total_s +. ks.wall_total_s;
-      Stats.Histogram.merge_into ~src:ks.wall ~dst:acc.wall;
-      Stats.Histogram.merge_into ~src:ks.vtime ~dst:acc.vtime)
-    src.kinds
+  Hashtbl.to_seq src.kinds |> List.of_seq
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (tag, (ks : kind_stats)) ->
+         let acc = kind_stats dst tag in
+         acc.count <- acc.count + ks.count;
+         acc.wall_total_s <- acc.wall_total_s +. ks.wall_total_s;
+         Stats.Histogram.merge_into ~src:ks.wall ~dst:acc.wall;
+         Stats.Histogram.merge_into ~src:ks.vtime ~dst:acc.vtime)
 
 let kinds t =
-  Hashtbl.fold (fun tag ks acc -> (tag, ks) :: acc) t.kinds []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Hashtbl.to_seq t.kinds |> List.of_seq
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in

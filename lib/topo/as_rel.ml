@@ -59,6 +59,7 @@ let parse text =
   in
   let graph = Graph.create ~n:!next ~edges in
   let asn_of_node = Array.make !next 0 in
+  (* bgpsim-lint: allow D001 — each binding writes a distinct array slot *)
   Hashtbl.iter (fun asn node -> asn_of_node.(node) <- asn) node_of_asn;
   { graph; asn_of_node; node_of_asn; rels }
 
@@ -85,20 +86,16 @@ let relationship t a b =
 
 let to_string t =
   let lines =
-    Hashtbl.fold
-      (fun (a, b) (rel, provider_first) acc ->
-        let line =
-          match rel with
-          | Peer ->
-              Printf.sprintf "%d|%d|0" t.asn_of_node.(a) t.asn_of_node.(b)
-          | P2c ->
-              let provider, customer =
-                if provider_first then (a, b) else (b, a)
-              in
-              Printf.sprintf "%d|%d|-1" t.asn_of_node.(provider)
-                t.asn_of_node.(customer)
-        in
-        line :: acc)
-      t.rels []
+    Hashtbl.to_seq t.rels |> List.of_seq
+    |> List.map (fun ((a, b), (rel, provider_first)) ->
+           match rel with
+           | Peer ->
+               Printf.sprintf "%d|%d|0" t.asn_of_node.(a) t.asn_of_node.(b)
+           | P2c ->
+               let provider, customer =
+                 if provider_first then (a, b) else (b, a)
+               in
+               Printf.sprintf "%d|%d|-1" t.asn_of_node.(provider)
+                 t.asn_of_node.(customer))
   in
   String.concat "\n" (List.sort compare lines) ^ "\n"

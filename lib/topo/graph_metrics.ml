@@ -36,7 +36,7 @@ let compute g =
       (fun d ->
         Hashtbl.replace tbl d (1 + Option.value (Hashtbl.find_opt tbl d) ~default:0))
       degrees;
-    Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+    Hashtbl.to_seq tbl |> List.of_seq |> List.sort compare
   in
   (* local clustering: fraction of a node's neighbor pairs that are
      themselves adjacent *)

@@ -65,6 +65,7 @@ let run ~fib ~origin ~n ~link_delay ~ttl ~rate ~window:(t0, t1) ~seed
       done)
     sources;
   let exhaustion_times = Dessim.Vec.to_array exhaustions in
+  (* bgpsim-lint: allow D004 — compare as a total order for sorting finite times *)
   Array.sort compare exhaustion_times;
   let count = Array.length exhaustion_times in
   {

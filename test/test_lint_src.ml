@@ -1,0 +1,246 @@
+(* Tests for the bgpsim-lint analyzer (lib/lint_src):
+
+   - the known-bad fixture corpus: every rule id has a snippet that
+     fires it, good twins stay clean, and an in-source suppression
+     comment downgrades the finding (compiled with ocamlc -bin-annot
+     and run through the same cmt pass as the real tree);
+   - suppression-comment and allowlist parsing, in particular that a
+     directive without a justification is a config error, never a
+     silent pass;
+   - report classification, exit codes, and the --json schema
+     round-trip. *)
+
+open Lint_src
+
+let finding ?(file = "lib/foo.ml") ?(line = 10) ?(col = 2) rule =
+  Finding.make ~rule ~file ~line ~col ~witness:"test witness"
+
+let no_supps (_ : string) : Suppress.t list * string list = ([], [])
+
+(* --- fixture corpus --- *)
+
+let test_fixture_corpus () =
+  if not (Fixtures.ocamlc_available ()) then
+    Alcotest.fail "ocamlc not on PATH; fixture corpus cannot run"
+  else
+    match Fixtures.check_all () with
+    | Ok n -> Alcotest.(check bool) "corpus non-trivial" true (n >= 15)
+    | Error msgs -> Alcotest.fail (String.concat "\n" msgs)
+
+let test_every_rule_has_bad_fixture () =
+  List.iter
+    (fun rule ->
+      let fires =
+        List.exists
+          (fun (fx : Fixtures.fixture) -> fx.expect = Fixtures.Fires rule)
+          Fixtures.all
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a failing fixture" (Rule.id rule))
+        true fires)
+    Rule.all
+
+(* --- suppression comments --- *)
+
+let test_suppression_parses () =
+  let supps, errs =
+    Suppress.scan_lines ~file:"x.ml"
+      [ "let a = 1"; "(* bgpsim-lint: allow D001 \xe2\x80\x94 commutative fold *)" ]
+  in
+  Alcotest.(check int) "no errors" 0 (List.length errs);
+  match supps with
+  | [ s ] ->
+      Alcotest.(check string) "rule" "D001" (Rule.id s.Suppress.rule);
+      Alcotest.(check int) "line" 2 s.Suppress.line;
+      Alcotest.(check string) "reason" "commutative fold" s.Suppress.reason;
+      Alcotest.(check bool) "covers own line" true
+        (Suppress.covers s ~rule:Rule.D001 ~line:2);
+      Alcotest.(check bool) "covers next line" true
+        (Suppress.covers s ~rule:Rule.D001 ~line:3);
+      Alcotest.(check bool) "not two lines down" false
+        (Suppress.covers s ~rule:Rule.D001 ~line:4);
+      Alcotest.(check bool) "not another rule" false
+        (Suppress.covers s ~rule:Rule.D004 ~line:2)
+  | l -> Alcotest.failf "expected one suppression, got %d" (List.length l)
+
+let test_suppression_requires_justification () =
+  let check_error label lines =
+    let supps, errs = Suppress.scan_lines ~file:"x.ml" lines in
+    Alcotest.(check int) (label ^ ": no suppression") 0 (List.length supps);
+    Alcotest.(check bool) (label ^ ": reported") true (errs <> [])
+  in
+  check_error "no separator" [ "(* bgpsim-lint: allow D001 *)" ];
+  check_error "empty reason" [ "(* bgpsim-lint: allow D001 \xe2\x80\x94 *)" ];
+  check_error "unknown rule" [ "(* bgpsim-lint: allow D999 \xe2\x80\x94 x *)" ];
+  check_error "unknown directive" [ "(* bgpsim-lint: deny D001 \xe2\x80\x94 x *)" ]
+
+let test_suppression_ascii_separator () =
+  let supps, errs =
+    Suppress.scan_lines ~file:"x.ml"
+      [ "(* bgpsim-lint: allow D004 -- exact sentinel *)" ]
+  in
+  Alcotest.(check int) "no errors" 0 (List.length errs);
+  Alcotest.(check int) "one suppression" 1 (List.length supps)
+
+(* --- allowlist --- *)
+
+let test_allowlist_parses () =
+  let allows, errs =
+    Suppress.parse_allowlist_lines ~file:"allow.txt"
+      [
+        "# comment";
+        "";
+        "D003 lib/core/parallel.ml \xe2\x80\x94 the hygiene guard itself";
+      ]
+  in
+  Alcotest.(check int) "no errors" 0 (List.length errs);
+  match allows with
+  | [ a ] ->
+      Alcotest.(check bool) "covers the file" true
+        (Suppress.allow_covers a ~rule:Rule.D003 ~file:"lib/core/parallel.ml");
+      Alcotest.(check bool) "not another file" false
+        (Suppress.allow_covers a ~rule:Rule.D003 ~file:"lib/core/other.ml")
+  | l -> Alcotest.failf "expected one allow, got %d" (List.length l)
+
+let test_allowlist_requires_justification () =
+  let allows, errs =
+    Suppress.parse_allowlist_lines ~file:"allow.txt"
+      [ "D003 lib/core/parallel.ml" ]
+  in
+  Alcotest.(check int) "rejected" 0 (List.length allows);
+  Alcotest.(check bool) "reported" true (errs <> []);
+  let report =
+    Report.build ~findings:[] ~scan_source:no_supps ~allows ~allow_errors:errs
+  in
+  Alcotest.(check int) "config errors exit 2" 2 (Report.exit_code report)
+
+(* --- report classification and exit codes --- *)
+
+let test_exit_codes () =
+  let open_report =
+    Report.build ~findings:[ finding Rule.D001 ] ~scan_source:no_supps
+      ~allows:[] ~allow_errors:[]
+  in
+  Alcotest.(check int) "open finding exits 1" 1 (Report.exit_code open_report);
+  let suppressed =
+    Report.build ~findings:[ finding Rule.D001 ]
+      ~scan_source:(fun _ ->
+        ([ { Suppress.rule = Rule.D001; line = 9; reason = "safe" } ], []))
+      ~allows:[] ~allow_errors:[]
+  in
+  Alcotest.(check int) "comment on previous line suppresses" 0
+    (Report.exit_code suppressed);
+  let allowlisted =
+    Report.build ~findings:[ finding Rule.D001 ] ~scan_source:no_supps
+      ~allows:
+        [
+          {
+            Suppress.a_rule = Rule.D001;
+            a_file = "lib/foo.ml";
+            a_justification = "whole file is safe";
+          };
+        ]
+      ~allow_errors:[]
+  in
+  Alcotest.(check int) "allowlisted exits 0" 0 (Report.exit_code allowlisted);
+  Alcotest.(check int) "clean exits 0" 0
+    (Report.exit_code
+       (Report.build ~findings:[] ~scan_source:no_supps ~allows:[]
+          ~allow_errors:[]))
+
+let test_wrong_rule_does_not_suppress () =
+  let report =
+    Report.build ~findings:[ finding Rule.D002 ]
+      ~scan_source:(fun _ ->
+        ([ { Suppress.rule = Rule.D001; line = 10; reason = "safe" } ], []))
+      ~allows:[] ~allow_errors:[]
+  in
+  Alcotest.(check int) "still open" 1 (Report.open_count report)
+
+(* --- JSON round-trip --- *)
+
+let test_json_roundtrip () =
+  let report =
+    Report.build
+      ~findings:
+        [
+          finding Rule.D001;
+          finding ~file:"lib/bar.ml" ~line:3 ~col:0 Rule.M001;
+          finding ~line:20 Rule.D004;
+        ]
+      ~scan_source:(fun file ->
+        if file = "lib/foo.ml" then
+          ([ { Suppress.rule = Rule.D004; line = 19; reason = "sentinel" } ], [])
+        else ([], []))
+      ~allows:
+        [
+          {
+            Suppress.a_rule = Rule.M001;
+            a_file = "lib/bar.ml";
+            a_justification = "guarded upstream";
+          };
+        ]
+      ~allow_errors:[]
+  in
+  let s = Report.to_json_string report in
+  match Report.of_json_string s with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check int) "entry count" 3 (List.length back.Report.entries);
+      Alcotest.(check int) "open count" (Report.open_count report)
+        (Report.open_count back);
+      Alcotest.(check int) "suppressed count" (Report.suppressed_count report)
+        (Report.suppressed_count back);
+      List.iter2
+        (fun (a : Report.entry) (b : Report.entry) ->
+          Alcotest.(check int) "finding equal" 0
+            (Finding.compare a.finding b.finding);
+          Alcotest.(check bool) "status equal" true (a.status = b.status))
+        report.Report.entries back.Report.entries;
+      (* re-serializing the parsed report is byte-identical *)
+      Alcotest.(check string) "stable serialization" s
+        (Report.to_json_string back)
+
+let test_json_schema_tag () =
+  let report =
+    Report.build ~findings:[] ~scan_source:no_supps ~allows:[] ~allow_errors:[]
+  in
+  match Json.of_string (Report.to_json_string report) with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Option.bind (Json.member "schema" j) Json.to_str with
+      | None -> Alcotest.fail "missing schema field"
+      | Some schema ->
+          Alcotest.(check string) "schema tag" Report.schema schema)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lint_src"
+    [
+      ( "fixtures",
+        [
+          tc "corpus" test_fixture_corpus;
+          tc "every rule has a bad fixture" test_every_rule_has_bad_fixture;
+        ] );
+      ( "suppressions",
+        [
+          tc "directive parses" test_suppression_parses;
+          tc "justification mandatory" test_suppression_requires_justification;
+          tc "ascii separator" test_suppression_ascii_separator;
+        ] );
+      ( "allowlist",
+        [
+          tc "entry parses" test_allowlist_parses;
+          tc "justification mandatory" test_allowlist_requires_justification;
+        ] );
+      ( "report",
+        [
+          tc "exit codes" test_exit_codes;
+          tc "wrong rule does not suppress" test_wrong_rule_does_not_suppress;
+        ] );
+      ( "json",
+        [
+          tc "round-trip" test_json_roundtrip;
+          tc "schema tag" test_json_schema_tag;
+        ] );
+    ]
