@@ -48,8 +48,8 @@ let link_key a b = if a < b then (a, b) else (b, a)
 
 let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     ?origins ?(max_events = 40_000_000) ?max_vtime
-    ?(invariants = Faults.Invariant.Off) ?(obs = Obs.Bus.off) ~graph ~victim
-    ~seed () =
+    ?(invariants = Faults.Invariant.Off) ?(obs = Obs.Bus.off) ?partitions
+    ~graph ~victim ~seed () =
   Netcore.Params.validate params;
   Config.validate config;
   let n = Topo.Graph.n_nodes graph in
@@ -84,15 +84,21 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
   | Some t when t <= 0. || Float.is_nan t ->
       invalid_arg "Mesh_sim.run: max_vtime must be positive"
   | Some _ | None -> ());
-  let engine = Dessim.Engine.create () in
+  let fabric =
+    Netcore.Fabric.create ?partitions ~n
+      ~edges:(Topo.Graph.edges graph)
+      ~link_delay:params.link_delay ()
+  in
+  let engine_of v = Netcore.Fabric.engine_of fabric v in
   let checker = Faults.Invariant.create invariants in
   if Faults.Invariant.enabled checker then
-    Dessim.Engine.set_clock_monitor engine (fun ~old_time ~new_time ->
-        if new_time < old_time then
-          Faults.Invariant.report checker Faults.Invariant.Clock_regression
-            ~detail:(fun () ->
-              Printf.sprintf "event at %g fired with clock at %g" new_time
-                old_time));
+    Netcore.Fabric.iter_engines fabric (fun e ->
+        Dessim.Engine.set_clock_monitor e (fun ~old_time ~new_time ->
+            if new_time < old_time then
+              Faults.Invariant.report checker Faults.Invariant.Clock_regression
+                ~detail:(fun () ->
+                  Printf.sprintf "event at %g fired with clock at %g" new_time
+                    old_time)));
   let trace = Netcore.Trace.create ~n in
   let root_rng = Dessim.Rng.create ~seed in
   let proc_rng = Dessim.Rng.split root_rng ~label:"proc" in
@@ -103,6 +109,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
       if Faults.Invariant.enabled checker then
         Netcore.Link.attach_checker link checker;
       if Obs.Bus.enabled obs then Netcore.Link.attach_obs link obs;
+      Netcore.Fabric.attach_link fabric link;
       Hashtbl.add links (link_key a b) link)
     (Topo.Graph.edges graph);
   let node_procs =
@@ -149,7 +156,7 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
       | Some l -> l
       | None -> invalid_arg "Mesh_sim: emit to non-neighbor"
     in
-    let now = Dessim.Engine.now engine in
+    let now = Dessim.Engine.now (engine_of src) in
     let withdraw =
       match (msg : Msg.t) with Withdraw _ -> true | Announce _ -> false
     in
@@ -163,20 +170,22 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
       end
       else incr background_msgs;
     let deliver () =
-      Netcore.Node_proc.submit node_procs.(peer) ~engine
+      (* runs on the peer's engine — the link transport routed it there *)
+      Netcore.Node_proc.submit node_procs.(peer) ~engine:(engine_of peer)
         ~delay:(draw_proc_delay ()) ~work:(fun () ->
           Netcore.Trace.log_process trace
-            ~time:(Dessim.Engine.now engine)
+            ~time:(Dessim.Engine.now (engine_of peer))
             ~node:peer ~from:src ~kind:(Msg.kind msg);
           Obs.Bus.update_recv obs ~prefix:pid
-            ~time:(Dessim.Engine.now engine)
+            ~time:(Dessim.Engine.now (engine_of peer))
             ~node:peer ~from:src ~withdraw;
           Speaker.handle_msg (speaker peer) ~from:src msg)
     in
-    ignore (Netcore.Link.send link ~engine ~from:src ~deliver : bool)
+    ignore
+      (Netcore.Link.send link ~engine:(engine_of src) ~from:src ~deliver : bool)
   in
   let on_next_hop_change_for node ~prefix ~next_hop =
-    let now = Dessim.Engine.now engine in
+    let now = Dessim.Engine.now (engine_of node) in
     let pid = pid_of prefix in
     Netcore.Fib_history.record fib_by_id.(pid) ~time:now ~node ~next_hop;
     Obs.Bus.fib_change obs ~prefix:pid ~time:now ~node ~next_hop;
@@ -190,8 +199,8 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     let rng = Dessim.Rng.split root_rng ~label:("speaker-" ^ string_of_int i) in
     speakers.(i) <-
       Some
-        (Speaker.create ~checker ~obs ~prefix_obs:true ~paths ~prefixes ~engine
-           ~config ~rng ~node:i
+        (Speaker.create ~checker ~obs ~prefix_obs:true ~paths ~prefixes
+           ~engine:(engine_of i) ~config ~rng ~node:i
            ~peers:(Topo.Graph.neighbors graph i)
            ~emit:(emit_from i)
            ~on_next_hop_change:(on_next_hop_change_for i)
@@ -200,14 +209,11 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
   (* warm-up: all prefixes originate *)
   List.iter2
     (fun origin prefix ->
-      let (_ : Dessim.Engine.handle) =
-        Dessim.Engine.schedule ~tag:"originate" engine ~at:0. (fun () ->
-            Speaker.originate (speaker origin) prefix)
-      in
-      ())
+      Netcore.Fabric.schedule_control ~tag:"originate" fabric ~node:origin
+        ~at:0. (fun () -> Speaker.originate (speaker origin) prefix))
     origins prefix_list;
-  Dessim.Engine.run ?until:max_vtime ~max_events engine;
-  let warmup_drained = Dessim.Engine.events_executed engine < max_events in
+  Netcore.Fabric.run ?until:max_vtime ~max_events fabric;
+  let warmup_drained = Netcore.Fabric.events_executed fabric < max_events in
   (* arm the streaming scanners on the converged forwarding state; a
      warm-up that blew the budget may hold transient loops the scanner
      rejects, so streaming is skipped (loop_reports stays empty) *)
@@ -220,14 +226,13 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
                ~initial:(Netcore.Fib_history.snapshot fib ~before:infinity)
                ()))
       fibs;
-  let t_fail = Dessim.Engine.now engine +. failure_gap in
+  let t_fail = Netcore.Fabric.now fabric +. failure_gap in
   t_fail_ref := t_fail;
   (* the victim's T_down *)
   let victim_origin = List.nth origins victim in
-  let (_ : Dessim.Engine.handle) =
-    Dessim.Engine.schedule ~tag:"inject" engine ~at:t_fail (fun () ->
-        Speaker.withdraw_local (speaker victim_origin) victim_prefix)
-  in
+  Netcore.Fabric.schedule_control ~tag:"inject" fabric ~node:victim_origin
+    ~at:t_fail (fun () ->
+      Speaker.withdraw_local (speaker victim_origin) victim_prefix);
   (* background churn *)
   (match churn with
   | None -> ()
@@ -238,29 +243,25 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
           let prefix = List.nth prefix_list flapper in
           for k = 0 to c.cycles - 1 do
             let base = t_fail +. (float_of_int k *. c.period) in
-            let (_ : Dessim.Engine.handle) =
-              Dessim.Engine.schedule ~tag:"inject" engine ~at:base (fun () ->
-                  Speaker.withdraw_local (speaker origin) prefix)
-            in
-            let (_ : Dessim.Engine.handle) =
-              Dessim.Engine.schedule ~tag:"inject" engine
-                ~at:(base +. (c.period /. 2.))
-                (fun () -> Speaker.originate (speaker origin) prefix)
-            in
-            ()
+            Netcore.Fabric.schedule_control ~tag:"inject" fabric ~node:origin
+              ~at:base (fun () ->
+                Speaker.withdraw_local (speaker origin) prefix);
+            Netcore.Fabric.schedule_control ~tag:"inject" fabric ~node:origin
+              ~at:(base +. (c.period /. 2.))
+              (fun () -> Speaker.originate (speaker origin) prefix)
           done)
         c.flappers);
-  Dessim.Engine.run ?until:max_vtime ~max_events engine;
+  Netcore.Fabric.run ?until:max_vtime ~max_events fabric;
   (match Obs.Bus.counters obs with
   | Some c ->
-      Obs.Counters.add_events c (Dessim.Engine.events_executed engine);
+      Obs.Counters.add_events c (Netcore.Fabric.events_executed fabric);
       Obs.Counters.observe_paths_interned c ~count:(As_path.Table.size paths)
   | None -> ());
   let termination =
-    if Dessim.Engine.events_executed engine >= max_events then
+    if Netcore.Fabric.events_executed fabric >= max_events then
       Routing_sim.Event_budget
     else
-      match Dessim.Engine.next_live_time engine with
+      match Netcore.Fabric.next_live_time fabric with
       | Some _ -> Routing_sim.Vtime_budget
       | None -> Routing_sim.Drained
   in
@@ -288,5 +289,5 @@ let run ?(params = Netcore.Params.default) ?(config = Config.default) ?churn
     termination;
     invariant_violations = Faults.Invariant.violations checker;
     paths_interned = As_path.Table.size paths;
-    events_executed = Dessim.Engine.events_executed engine;
+    events_executed = Netcore.Fabric.events_executed fabric;
   }

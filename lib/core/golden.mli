@@ -23,14 +23,18 @@ val canonical : fixture
 
 val find : string -> fixture option
 
-val events : fixture -> Obs.Event.t list
-(** Run the fixture with a memory sink and return its trace. *)
+val events : ?partitions:int -> fixture -> Obs.Event.t list
+(** Run the fixture with a memory sink and return its trace.
+    [partitions] runs it on the space-partitioned executor; the trace
+    must be — and is asserted to be, by the partition test wall —
+    byte-identical to the sequential one. *)
 
-val digest : fixture -> string
+val digest : ?partitions:int -> fixture -> string
 (** Hex md5 of the fixture's JSONL trace — equals the digest of the
-    file written by [bgpsim_cli run --trace] on the same scenario. *)
+    file written by [bgpsim_cli run --trace] on the same scenario,
+    whatever [partitions] is. *)
 
-val digest_line : fixture -> string
+val digest_line : ?partitions:int -> fixture -> string
 (** ["<name> <digest>"] — the fixture-file line format. *)
 
 val mesh_name : string
@@ -39,18 +43,21 @@ val mesh_name : string
     Not an {!Experiment.spec} (those are single-prefix), so it is
     exposed through the functions below instead of {!fixtures}. *)
 
-val mesh_events : unit -> Obs.Event.t list
+val mesh_events : ?partitions:int -> unit -> Obs.Event.t list
 (** Run the full-mesh fixture with a memory sink and return its
     per-prefix-tagged trace. *)
 
-val mesh_digest : unit -> string
+val mesh_digest : ?partitions:int -> unit -> string
 (** Hex md5 of the full-mesh fixture's JSONL trace. *)
 
-val mesh_digest_line : unit -> string
+val mesh_digest_line : ?partitions:int -> unit -> string
 (** ["clique5-mesh <digest>"]. *)
 
-val digest_lines : unit -> string list
-(** All fixture lines followed by the {!mesh_digest_line}. *)
+val digest_lines : ?partitions:int -> unit -> string list
+(** All fixture lines followed by the {!mesh_digest_line}, computed on
+    [partitions] engines (default: the sequential path).  The lines
+    are identical for every valid partition count — that equality is
+    the executor's determinism gate. *)
 
 val parse_expected : string -> (string * string) list
 (** Parse fixture-file text (["<name> <digest>"] lines; blanks and

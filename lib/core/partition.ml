@@ -1,0 +1,127 @@
+type t = { graph : Topo.Graph.t; k : int; assignment : int array }
+
+(* Greedy region growth.  Centers are spread by repeated
+   farthest-point placement (the classic k-center heuristic), then the
+   regions grow round-robin, each round claiming the unassigned node
+   with the most edges into the claiming region — the node whose
+   assignment elsewhere would cost the most cut edges.  All ties break
+   toward the smallest node id so the result is a pure function of
+   (seed, graph, k). *)
+let compute ~seed ~graph ~k =
+  let n = Topo.Graph.n_nodes graph in
+  if k < 1 then invalid_arg "Partition.compute: k must be positive";
+  if k > n then
+    invalid_arg
+      (Printf.sprintf "Partition.compute: k = %d exceeds %d nodes" k n);
+  let assignment = Array.make n 0 in
+  if k > 1 then begin
+    Array.fill assignment 0 n (-1);
+    let rng = Dessim.Rng.split (Dessim.Rng.create ~seed) ~label:"partition" in
+    let centers = Array.make k 0 in
+    centers.(0) <- Dessim.Rng.int rng n;
+    (* distance to the nearest already-placed center *)
+    let nearest = Topo.Graph.bfs_distances graph ~from:centers.(0) in
+    for c = 1 to k - 1 do
+      let best = ref (-1) and best_d = ref (-1) in
+      for v = 0 to n - 1 do
+        (* centers are at distance 0 from themselves, so any [v] with
+           [nearest.(v) > 0] is not yet a center *)
+        if nearest.(v) > !best_d then begin
+          best := v;
+          best_d := nearest.(v)
+        end
+      done;
+      centers.(c) <- !best;
+      let d = Topo.Graph.bfs_distances graph ~from:!best in
+      for v = 0 to n - 1 do
+        if d.(v) < nearest.(v) then nearest.(v) <- d.(v)
+      done
+    done;
+    let sizes = Array.make k 0 in
+    Array.iteri
+      (fun c v ->
+        assignment.(v) <- c;
+        sizes.(c) <- 1)
+      centers;
+    let cap = (n + k - 1) / k in
+    let assigned = ref k in
+    while !assigned < n do
+      let placed_this_round = ref false in
+      for c = 0 to k - 1 do
+        if sizes.(c) < cap then begin
+          (* unassigned node with the most edges into region c *)
+          let best = ref (-1) and best_links = ref 0 in
+          for v = 0 to n - 1 do
+            if assignment.(v) < 0 then begin
+              let links =
+                List.fold_left
+                  (fun acc u -> if assignment.(u) = c then acc + 1 else acc)
+                  0
+                  (Topo.Graph.neighbors graph v)
+              in
+              if links > !best_links then begin
+                best := v;
+                best_links := links
+              end
+            end
+          done;
+          if !best >= 0 then begin
+            assignment.(!best) <- c;
+            sizes.(c) <- sizes.(c) + 1;
+            incr assigned;
+            placed_this_round := true
+          end
+        end
+      done;
+      if not !placed_this_round then begin
+        (* no region can grow along an edge (disconnected leftovers, or
+           every region at cap): smallest orphan joins the smallest
+           region, so the loop always terminates with a full cover *)
+        let v = ref 0 in
+        while assignment.(!v) >= 0 do
+          incr v
+        done;
+        let c = ref 0 in
+        for c' = 1 to k - 1 do
+          if sizes.(c') < sizes.(!c) then c := c'
+        done;
+        assignment.(!v) <- !c;
+        sizes.(!c) <- sizes.(!c) + 1;
+        incr assigned
+      end
+    done
+  end;
+  { graph; k; assignment }
+
+let k t = t.k
+
+let assignment t = Array.copy t.assignment
+
+let members t c =
+  List.filter (fun v -> t.assignment.(v) = c) (Topo.Graph.nodes t.graph)
+
+let cut t =
+  List.filter
+    (fun (a, b) -> t.assignment.(a) <> t.assignment.(b))
+    (Topo.Graph.edges t.graph)
+
+let lookahead t ~delay =
+  let m = Array.make_matrix t.k t.k infinity in
+  List.iter
+    (fun (a, b) ->
+      let pa = t.assignment.(a) and pb = t.assignment.(b) in
+      let d = delay a b in
+      if d < m.(pa).(pb) then begin
+        m.(pa).(pb) <- d;
+        m.(pb).(pa) <- d
+      end)
+    (cut t);
+  m
+
+let pp fmt t =
+  let sizes = Array.make t.k 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) t.assignment;
+  Format.fprintf fmt "%d partition(s), sizes [%s], cut %d" t.k
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int sizes)))
+    (List.length (cut t))

@@ -1,0 +1,44 @@
+(** Space partitioning of the AS graph for the conservative parallel
+    executor ({!Dessim.Cluster} / {!Netcore.Fabric}).
+
+    A partition is a total assignment of nodes to [k] disjoint,
+    non-empty regions.  The executor's correctness never depends on
+    the assignment — any valid one yields byte-identical runs — but
+    its synchronization cost does: every edge crossing the cut becomes
+    channel traffic, so the heuristic greedily grows [k] connected
+    regions that keep the edge cut small.
+
+    The construction is deterministic for a given [(seed, graph, k)]:
+    the seed picks the first growth center, the remaining centers are
+    placed at maximal BFS distance from those already chosen, and all
+    ties break toward the smallest node id.  Determinism here is what
+    lets a partitioned golden run be re-checked byte-for-byte on
+    another machine. *)
+
+type t
+
+val compute : seed:int -> graph:Topo.Graph.t -> k:int -> t
+(** Greedy edge-cut partitioning into [k] regions, each holding at
+    most [ceil (n / k)] nodes.
+    @raise Invalid_argument if [k < 1] or [k] exceeds the node count. *)
+
+val k : t -> int
+
+val assignment : t -> int array
+(** [assignment.(v)] is node [v]'s region, in [0 .. k-1] — the form
+    the simulators' [?partitions] argument takes.  Fresh copy. *)
+
+val members : t -> int -> int list
+(** Nodes of one region, ascending. *)
+
+val cut : t -> (int * int) list
+(** Edges crossing regions, smaller endpoint first, sorted — the
+    channel traffic surface. *)
+
+val lookahead : t -> delay:(int -> int -> float) -> float array array
+(** [k x k] matrix of the minimum [delay a b] over cut edges joining
+    each region pair ([infinity] where none does, diagonal included) —
+    the true lookahead the conservative protocol may claim. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: region sizes and cut size. *)

@@ -9,9 +9,47 @@
     submission order, so a parallel sweep returns the same metrics and
     the same failure order as the sequential one — only the
     [wall_clock_s] timing field differs.  With neither option (or
-    [jobs <= 1]) the sweep runs sequentially in the calling domain. *)
+    [jobs <= 1]) the sweep runs sequentially in the calling domain.
+
+    {b Dispatch-overhead fallback.}  A temporary [?jobs] pool costs one
+    domain spawn per worker, which can exceed the whole batch for
+    micro-runs (tiny topologies in test sweeps).  So the [?jobs] path
+    first runs one probe thunk in the calling domain: if it finishes
+    below {!dispatch_overhead_s}, the rest of the batch stays
+    sequential and no pool is ever spawned.  A caller-supplied [?pool]
+    is never second-guessed — its spawn cost is already sunk.  The
+    [?on_dispatch] callback reports which path ran (the regression-test
+    hook; see test/test_parallel.ml). *)
+
+(** How a sweep batch was actually executed. *)
+type dispatch =
+  | Sequential  (** no pool and no [jobs > 1] requested *)
+  | Pool of { jobs : int }  (** caller-supplied pool, used as-is *)
+  | Probed_pool of { jobs : int; probe_s : float }
+      (** probe ran for [probe_s] >= {!dispatch_overhead_s}: a
+          temporary pool was spawned for the remaining thunks *)
+  | Probed_sequential of { probe_s : float }
+      (** probe finished under the threshold (or was the whole batch):
+          everything ran in the calling domain *)
+
+val dispatch_overhead_s : float
+(** Per-run wall-time threshold (1 ms) under which a temporary pool
+    costs more than it saves. *)
+
+val run_batch :
+  ?on_dispatch:(dispatch -> unit) ->
+  ?pool:Parallel.t ->
+  ?jobs:int ->
+  (unit -> 'a) list ->
+  ('a, exn) result list
+(** The substrate every sweep bottoms out in: execute the thunks
+    (through [pool], a probed temporary [jobs]-pool, or sequentially)
+    and gather per-thunk results in submission order.  Exposed for
+    callers composing their own batches — and for the fallback
+    regression test. *)
 
 val over_seeds :
+  ?on_dispatch:(dispatch -> unit) ->
   ?pool:Parallel.t ->
   ?jobs:int ->
   Experiment.spec ->
@@ -23,6 +61,7 @@ val over_seeds :
     @raise Invalid_argument on an empty seed list. *)
 
 val series :
+  ?on_dispatch:(dispatch -> unit) ->
   ?pool:Parallel.t ->
   ?jobs:int ->
   make:('x -> Experiment.spec) ->
@@ -38,6 +77,7 @@ val default_seeds : int list
 (** Seeds 1–5. *)
 
 val over_seeds_summary :
+  ?on_dispatch:(dispatch -> unit) ->
   ?pool:Parallel.t ->
   ?jobs:int ->
   Experiment.spec ->
@@ -88,6 +128,7 @@ type robust = {
 }
 
 val over_seeds_robust :
+  ?on_dispatch:(dispatch -> unit) ->
   ?pool:Parallel.t ->
   ?jobs:int ->
   Experiment.spec ->
@@ -98,6 +139,7 @@ val over_seeds_robust :
     @raise Invalid_argument on an empty seed list. *)
 
 val series_robust :
+  ?on_dispatch:(dispatch -> unit) ->
   ?pool:Parallel.t ->
   ?jobs:int ->
   make:('x -> Experiment.spec) ->

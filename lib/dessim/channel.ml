@@ -1,0 +1,53 @@
+type t = {
+  src : int;
+  dst : int;
+  lookahead : float;
+  deliver : time:float -> tag:string option -> (unit -> unit) -> unit;
+  mutable clock : float;
+  mutable sent : int;
+  mutable nulls : int;
+  mutable violations : int;
+}
+
+let create ~src ~dst ~lookahead ~deliver =
+  if not (lookahead > 0.) then
+    invalid_arg "Channel.create: lookahead must be positive";
+  if src = dst then invalid_arg "Channel.create: self-channel";
+  {
+    src;
+    dst;
+    lookahead;
+    deliver;
+    clock = neg_infinity;
+    sent = 0;
+    nulls = 0;
+    violations = 0;
+  }
+
+let src t = t.src
+let dst t = t.dst
+let lookahead t = t.lookahead
+let clock t = t.clock
+
+(* Both checks record instead of raising: the schedule must be
+   byte-identical whether or not anyone ever looks at the counters, so
+   a violating message still goes through — the run is failed wholesale
+   by Cluster.run once it can no longer perturb event order. *)
+let send t ~time ~receiver_clock ~tag action =
+  if time < t.clock then t.violations <- t.violations + 1;
+  if time < receiver_clock +. t.lookahead then
+    t.violations <- t.violations + 1;
+  t.sent <- t.sent + 1;
+  t.deliver ~time ~tag action
+
+let advertise t ~bound =
+  if bound > t.clock then begin
+    t.clock <- bound;
+    t.nulls <- t.nulls + 1
+  end
+
+let reset t = t.clock <- neg_infinity
+
+let sent t = t.sent
+let nulls t = t.nulls
+let violations t = t.violations

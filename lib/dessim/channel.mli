@@ -1,0 +1,72 @@
+(** Typed cross-partition message channel for conservative parallel DES.
+
+    A channel carries scheduled actions from one space partition to
+    another and is the unit of conservative synchronization: it has a
+    {e lookahead} — a guaranteed minimum gap between the sender's
+    committed clock and any arrival it can still produce — and a
+    {e clock}, the sender's advertised lower bound on all future
+    arrival times (a null message, in Chandy–Misra–Bryant terms).
+
+    The channel enforces two protocol invariants on every send and
+    {e records} (never masks) violations:
+
+    - advert consistency: no message may arrive below the channel's
+      advertised clock;
+    - causal safety: no message may arrive below the receiver's
+      committed clock plus the channel lookahead.
+
+    Violations are counted rather than raised at the send site so the
+    executor's event order never depends on the checker; {!Cluster.run}
+    fails the whole run afterwards if the count is non-zero. *)
+
+type t
+
+val create :
+  src:int ->
+  dst:int ->
+  lookahead:float ->
+  deliver:(time:float -> tag:string option -> (unit -> unit) -> unit) ->
+  t
+(** A channel from partition [src] to partition [dst].  [deliver] is
+    the receiving side's enqueue primitive (it schedules the action
+    into the destination partition's event queue at [time]).
+    @raise Invalid_argument if [lookahead <= 0.] or [src = dst]. *)
+
+val src : t -> int
+val dst : t -> int
+val lookahead : t -> float
+
+val clock : t -> float
+(** The advertised lower bound on future arrival times; [neg_infinity]
+    after {!create} or {!reset}. *)
+
+val send :
+  t -> time:float -> receiver_clock:float -> tag:string option ->
+  (unit -> unit) -> unit
+(** Checks the protocol invariants against [time] (the arrival
+    timestamp) and the destination partition's committed
+    [receiver_clock], then hands the action to [deliver].  The message
+    is always delivered — a violation increments {!violations} but
+    must not change the schedule. *)
+
+val advertise : t -> bound:float -> unit
+(** Raises the channel clock to [bound] — a null message promising the
+    receiver that nothing will arrive below [bound].  Monotone:
+    [bound <= clock t] is a no-op (within a run the executor's bounds
+    only grow; {!reset} starts the next run afresh). *)
+
+val reset : t -> unit
+(** Drops the advertised clock back to [neg_infinity].  Called at the
+    start of every {!Cluster.run}: between runs the driver may inject
+    fresh external events that sit below the previous run's adverts. *)
+
+(** {2 Statistics} — cumulative across runs. *)
+
+val sent : t -> int
+(** Messages delivered through the channel. *)
+
+val nulls : t -> int
+(** Null messages (strict clock advances via {!advertise}). *)
+
+val violations : t -> int
+(** Protocol-invariant violations recorded by {!send}. *)

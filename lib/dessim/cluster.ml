@@ -1,0 +1,237 @@
+type t = {
+  engines : Engine.t array;
+  lookahead : float array array;
+  (* channels.(p).(q) carries partition p's sends into partition q *)
+  channels : Channel.t option array array;
+  (* cached conservative state; sound while [horizons_valid] because
+     bounds only grow within a run (heads advance, and new events never
+     undercut the last fixpoint — see the progress argument in the
+     interface), so a stale horizon is a lower bound on the true one *)
+  bounds : float array;
+  horizons : float array;
+  mutable horizons_valid : bool;
+  mutable sync_rounds : int;
+  (* any finite off-diagonal lookahead? if not, partitions are mutually
+     unreachable and the commit loop skips the conservative gate *)
+  synchronized : bool;
+}
+
+let k t = Array.length t.engines
+
+let engine t p = t.engines.(p)
+
+let create ?now ~lookahead () =
+  let n = Array.length lookahead in
+  if n = 0 then invalid_arg "Cluster.create: empty lookahead matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Cluster.create: lookahead matrix is not square")
+    lookahead;
+  let shared_seq = ref 0 in
+  let engines =
+    Array.init n (fun p -> Engine.create ?now ~partition:p ~shared_seq ())
+  in
+  let synchronized = ref false in
+  let channels =
+    Array.init n (fun p ->
+        Array.init n (fun q ->
+            let la = lookahead.(p).(q) in
+            (* bgpsim-lint: allow D004 — infinity is the exact no-channel sentinel, not a computed time *)
+            if p = q || la = infinity then None
+            else begin
+              if not (la > 0.) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Cluster.create: lookahead.(%d).(%d) = %g not positive" p
+                     q la);
+              synchronized := true;
+              let deliver ~time ~tag action =
+                let (_ : Engine.handle) =
+                  Engine.schedule ?tag engines.(q) ~at:time action
+                in
+                ()
+              in
+              Some (Channel.create ~src:p ~dst:q ~lookahead:la ~deliver)
+            end))
+  in
+  {
+    engines;
+    lookahead;
+    channels;
+    bounds = Array.make n infinity;
+    horizons = Array.make n infinity;
+    horizons_valid = false;
+    sync_rounds = 0;
+    synchronized = !synchronized;
+  }
+
+let send t ?tag ~src ~dst ~at action =
+  if src = dst then
+    let (_ : Engine.handle) = Engine.schedule ?tag t.engines.(dst) ~at action in
+    ()
+  else
+    match t.channels.(src).(dst) with
+    | Some ch ->
+        Channel.send ch ~time:at
+          ~receiver_clock:(Engine.now t.engines.(dst))
+          ~tag action
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Cluster.send: no channel from partition %d to %d"
+             src dst)
+
+(* A control injection is a synchronization barrier: the action it
+   wraps may push events onto ANY partition's queue at the injection
+   time, undercutting bounds advertised from pre-injection heads.  So
+   besides broadcasting the clock we retract every advert and drop the
+   cached horizons; the next gate miss recomputes from the real
+   post-injection heads. *)
+let sync_clocks t ~to_ =
+  Array.iter (fun e -> Engine.sync_clock e ~to_) t.engines;
+  Array.iter
+    (Array.iter (function None -> () | Some ch -> Channel.reset ch))
+    t.channels;
+  t.horizons_valid <- false
+
+let now t = Array.fold_left (fun acc e -> Float.max acc (Engine.now e)) neg_infinity t.engines
+
+let events_executed t =
+  Array.fold_left (fun acc e -> acc + Engine.events_executed e) 0 t.engines
+
+let pending t =
+  Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.engines
+
+let next_live_time t =
+  Array.fold_left
+    (fun acc e ->
+      match Engine.next_live_time e with
+      | None -> acc
+      | Some time -> (
+          match acc with
+          | None -> Some time
+          | Some best -> if time < best then Some time else acc))
+    None t.engines
+
+(* Least fixpoint of b_p = min(head_p, min_q (b_q + la(q,p))).  Edge
+   relaxation in the style of Bellman–Ford: k passes cover every simple
+   propagation path, and positive lookahead makes cycles non-improving,
+   so the loop always settles within the bound. *)
+let recompute t =
+  let n = Array.length t.engines in
+  for p = 0 to n - 1 do
+    t.bounds.(p) <-
+      (if Engine.has_live_head t.engines.(p) then Engine.head_time t.engines.(p)
+       else infinity)
+  done;
+  let changed = ref true in
+  let pass = ref 0 in
+  while !changed && !pass < n do
+    changed := false;
+    incr pass;
+    for p = 0 to n - 1 do
+      for q = 0 to n - 1 do
+        if p <> q && Option.is_some t.channels.(p).(q) then begin
+          let via = t.bounds.(p) +. t.lookahead.(p).(q) in
+          if via < t.bounds.(q) then begin
+            t.bounds.(q) <- via;
+            changed := true
+          end
+        end
+      done
+    done
+  done;
+  (* Advertise the new bounds (null messages) and cache each
+     partition's horizon: the min advertised clock over its inbound
+     channels. *)
+  for q = 0 to n - 1 do
+    let horizon = ref infinity in
+    for p = 0 to n - 1 do
+      match t.channels.(p).(q) with
+      | None -> ()
+      | Some ch ->
+          Channel.advertise ch ~bound:(t.bounds.(p) +. t.lookahead.(p).(q));
+          if Channel.clock ch < !horizon then horizon := Channel.clock ch
+    done;
+    t.horizons.(q) <- !horizon
+  done;
+  t.horizons_valid <- true;
+  t.sync_rounds <- t.sync_rounds + 1
+
+let fold_channels t f init =
+  let acc = ref init in
+  Array.iter
+    (Array.iter (function None -> () | Some ch -> acc := f !acc ch))
+    t.channels;
+  !acc
+
+type stats = {
+  cross_sent : int;
+  null_messages : int;
+  violations : int;
+  sync_rounds : int;
+}
+
+let stats t =
+  {
+    cross_sent = fold_channels t (fun acc ch -> acc + Channel.sent ch) 0;
+    null_messages = fold_channels t (fun acc ch -> acc + Channel.nulls ch) 0;
+    violations = fold_channels t (fun acc ch -> acc + Channel.violations ch) 0;
+    sync_rounds = t.sync_rounds;
+  }
+
+let run ?until ?max_events t =
+  (* Fresh synchronization state: between runs the driver injects
+     external events that may sit below the previous run's adverts. *)
+  Array.iter
+    (Array.iter (function None -> () | Some ch -> Channel.reset ch))
+    t.channels;
+  t.horizons_valid <- false;
+  let budget = match max_events with None -> max_int | Some m -> m in
+  let limit = match until with None -> infinity | Some l -> l in
+  let n = Array.length t.engines in
+  let continue = ref true in
+  while !continue do
+    if events_executed t >= budget then continue := false
+    else begin
+      (* globally earliest live head under the shared (time, seq) order *)
+      let best = ref (-1) in
+      let best_time = ref infinity in
+      let best_seq = ref max_int in
+      for p = 0 to n - 1 do
+        if Engine.has_live_head t.engines.(p) then begin
+          let time = Engine.head_time t.engines.(p) in
+          let seq = Engine.head_seq t.engines.(p) in
+          (* bgpsim-lint: allow D004 — bitwise-equal keys tie-break on the seq number *)
+          if time < !best_time || (time = !best_time && seq < !best_seq) then begin
+            best := p;
+            best_time := time;
+            best_seq := seq
+          end
+        end
+      done;
+      if !best < 0 || !best_time > limit then continue := false
+      else begin
+        let p = !best in
+        if t.synchronized then begin
+          (* conservative gate: the head must sit strictly below its
+             partition's horizon; recompute lazily on a miss *)
+          if not (t.horizons_valid && !best_time < t.horizons.(p)) then begin
+            recompute t;
+            if not (!best_time < t.horizons.(p)) then
+              failwith
+                (Printf.sprintf
+                   "Cluster.run: conservative progress violated — head %g in \
+                    partition %d not below horizon %g after recompute"
+                   !best_time p t.horizons.(p))
+          end
+        end;
+        let (_ : bool) = Engine.step t.engines.(p) in
+        ()
+      end
+    end
+  done;
+  let v = (stats t).violations in
+  if v > 0 then
+    failwith
+      (Printf.sprintf "Cluster.run: %d channel protocol violation(s)" v)

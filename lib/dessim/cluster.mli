@@ -1,0 +1,96 @@
+(** Conservative space-partitioned executor: one {!Engine} per
+    partition, driven as a single logical simulation.
+
+    All member engines share one sequence counter, so [(time, seq)]
+    totally orders events across the whole cluster exactly as it would
+    inside one engine.  The commit loop always executes the globally
+    earliest live event, which makes a partitioned run reproduce a
+    sequential run {e byte for byte} (same event order, same RNG draw
+    order, same trace): the global-minimum event can never be preempted,
+    because every event a future commit can still create is scheduled at
+    a later [(time, seq)] key — same-partition causes schedule at
+    [>= T] with a larger sequence number, and cross-partition causes
+    arrive at [>= T + lookahead > T].
+
+    On top of that order the cluster runs the full
+    Chandy–Misra–Bryant conservative protocol and {e checks} it rather
+    than relying on it: before committing a head at time [T] in
+    partition [p], [T] must lie strictly below [p]'s horizon — the
+    minimum over inbound channels of the sender's advertised clock
+    (lower bound [b_q] on any future event in [q], plus the channel
+    lookahead).  Bounds are the least fixpoint of
+    [b_p = min(head_p, min_q (b_q + la(q,p)))], recomputed lazily when
+    a cached horizon no longer covers the head.  Positive lookahead
+    makes the fixpoint reachable in at most [k] relaxation passes and
+    guarantees progress (the global-minimum head always clears its
+    horizon after a recompute); a miss after recompute, or any channel
+    protocol violation, fails the run loudly. *)
+
+type t
+
+val create : ?now:float -> lookahead:float array array -> unit -> t
+(** A cluster of [k = Array.length lookahead] partitions.
+    [lookahead.(p).(q)] is the guaranteed minimum delay of any message
+    from partition [p] to partition [q]; [infinity] means [p] never
+    sends to [q] (no channel is built).  Diagonal entries are ignored.
+    @raise Invalid_argument if the matrix is not square, or any
+    off-diagonal entry is finite but not positive. *)
+
+val k : t -> int
+(** Number of partitions. *)
+
+val engine : t -> int -> Engine.t
+(** The engine serving partition [p].  Callers schedule
+    partition-local work directly on it; cross-partition work must go
+    through {!send}. *)
+
+val send :
+  t -> ?tag:string -> src:int -> dst:int -> at:float -> (unit -> unit) ->
+  unit
+(** Schedules [action] at absolute time [at] in partition [dst] on
+    behalf of partition [src].  Same-partition sends are a plain
+    {!Engine.schedule}; cross-partition sends go through the
+    [src -> dst] channel (protocol-checked, see {!Channel}).
+    @raise Invalid_argument if [src <> dst] and no channel exists
+    (i.e. [lookahead.(src).(dst)] was [infinity]). *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Runs the commit loop until no live event remains anywhere, the
+    earliest one would fire after [until], or cumulative
+    {!events_executed} reaches [max_events] — the same contract as
+    {!Engine.run} over the merged event set.  Resets channel adverts
+    first (events injected between runs may sit below stale bounds).
+    @raise Failure if the conservative gate misses after a fixpoint
+    recompute, or any channel recorded a protocol violation. *)
+
+val sync_clocks : t -> to_:float -> unit
+(** Advances every partition clock to at least [to_] (a broadcast null
+    message).  Used by control actions that mutate state across
+    partition boundaries mid-event, so every engine stamps the
+    mutation with the same time.  Only sound at commit time of the
+    globally earliest event, where no event below [to_] remains. *)
+
+(** {2 Merged views} — the cluster as one logical engine. *)
+
+val now : t -> float
+(** The latest partition clock (the global committed time). *)
+
+val events_executed : t -> int
+(** Sum of live events executed across all partitions. *)
+
+val next_live_time : t -> float option
+(** Earliest live event time across all partitions. *)
+
+val pending : t -> int
+(** Total queued events across all partitions. *)
+
+(** {2 Synchronization statistics} *)
+
+type stats = {
+  cross_sent : int;  (** messages routed through a channel *)
+  null_messages : int;  (** strict channel-clock advances *)
+  violations : int;  (** channel protocol violations (0 on any healthy run) *)
+  sync_rounds : int;  (** horizon-fixpoint recomputations *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,81 @@
+(** Execution fabric: the bridge between a node-addressed network
+    simulation and the engines that execute it.
+
+    A fabric is either a single {!Dessim.Engine} (the classic
+    sequential path — byte-for-byte the pre-partitioning behavior) or a
+    {!Dessim.Cluster} of per-partition engines with a node-to-partition
+    assignment.  Simulations talk to the fabric in node terms: which
+    engine serves this node, attach this link, inject this control
+    action at this node and time.  The fabric routes cross-partition
+    link traffic through conservative channels and keeps partition
+    clocks consistent across control actions that mutate state on both
+    sides of a cut (see {!schedule_control}).
+
+    Determinism contract: with any valid assignment, a run driven
+    through a fabric commits events in exactly the sequential order
+    (see {!Dessim.Cluster}), so traces, RNG draw order, and outcomes
+    are identical whatever the partition count. *)
+
+type t
+
+val create :
+  ?partitions:int array ->
+  n:int ->
+  edges:(int * int) list ->
+  link_delay:float ->
+  unit ->
+  t
+(** A fabric for an [n]-node network with the given (undirected)
+    [edges], each of delay [link_delay].  [partitions.(v)] assigns node
+    [v] to a partition; omitted, or with a single partition, the fabric
+    is the sequential engine.  Cross-partition lookahead is derived
+    from the edges that cross the assignment — [link_delay] today,
+    being uniform.
+    @raise Invalid_argument if the assignment's length is not [n], ids
+    are not exactly [0..k-1] with every partition non-empty, or an edge
+    endpoint is out of range. *)
+
+val partitioned : t -> bool
+(** [false] on the single-engine path. *)
+
+val k : t -> int
+(** Number of partitions (1 on the single-engine path). *)
+
+val engine_of : t -> int -> Dessim.Engine.t
+(** The engine executing node [v]'s events.  Every clock read and
+    every schedule a node performs must go through its own engine. *)
+
+val iter_engines : t -> (Dessim.Engine.t -> unit) -> unit
+(** Applies [f] to each distinct engine — for installing step
+    profilers and clock monitors. *)
+
+val attach_link : t -> Link.t -> unit
+(** Installs a cross-partition {!Link.transport} on the link if its
+    endpoints live in different partitions; intra-partition links (and
+    the single-engine path) are left on the plain engine path. *)
+
+val schedule_control :
+  ?tag:string -> t -> node:int -> at:float -> (unit -> unit) -> unit
+(** Schedules a control action (fault injection, origination) at
+    absolute time [at], anchored on [node]'s engine.  On a partitioned
+    fabric the action is wrapped to first advance {e every} partition
+    clock to [at] — a broadcast null message — because control actions
+    may mutate speakers on both sides of a cut, and those mutations
+    (trace stamps, message emissions, timer arms) must read the
+    injection time, not a lagging remote clock.  The sync is sound
+    because the action commits as the globally earliest event: nothing
+    below [at] remains anywhere. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Same contract as {!Dessim.Engine.run} ([max_events] bounds
+    cumulative {!events_executed}). *)
+
+val now : t -> float
+(** Latest committed time across partitions. *)
+
+val events_executed : t -> int
+
+val next_live_time : t -> float option
+
+val stats : t -> Dessim.Cluster.stats option
+(** Synchronization counters; [None] on the single-engine path. *)

@@ -147,6 +147,70 @@ let test_series_robust_parallel_equals_sequential () =
       Alcotest.(check bool) "good point averaged" true m.converged
   | _ -> Alcotest.fail "good point should complete all seeds"
 
+(* --- dispatch-overhead fallback --- *)
+
+(* Micro-runs through a [?jobs] sweep must never pay for a temporary
+   pool: a clique-4 metrics run finishes far below the 1 ms dispatch
+   threshold, so the probe has to keep the whole batch in the calling
+   domain.  This is the regression test for the sweep-pool overhead
+   bug, wired through the [?on_dispatch] hook. *)
+let test_jobs_falls_back_for_micro_runs () =
+  let dispatches = ref [] in
+  let on_dispatch d = dispatches := d :: !dispatches in
+  let spec =
+    { (Experiment.default_spec (Experiment.Clique 4)) with mrai = 1. }
+  in
+  let seq = strip (Sweep.over_seeds spec ~seeds:[ 1; 2; 3 ]) in
+  let probed =
+    strip (Sweep.over_seeds ~on_dispatch ~jobs:4 spec ~seeds:[ 1; 2; 3 ])
+  in
+  (match !dispatches with
+  | [ Sweep.Probed_sequential { probe_s } ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "probe (%g s) below threshold" probe_s)
+        true
+        (probe_s < Sweep.dispatch_overhead_s)
+  | _ -> Alcotest.fail "expected exactly one Probed_sequential dispatch");
+  Alcotest.(check bool) "fallback metrics identical" true (seq = probed)
+
+(* The probe must not disable parallelism for real runs: a thunk that
+   sleeps past the threshold keeps the pooled path. *)
+let test_jobs_still_pools_expensive_runs () =
+  let dispatches = ref [] in
+  let on_dispatch d = dispatches := d :: !dispatches in
+  let slow x () =
+    Unix.sleepf (2. *. Sweep.dispatch_overhead_s);
+    x * 3
+  in
+  let results =
+    Sweep.run_batch ~on_dispatch ~jobs:2 (List.map slow [ 1; 2; 3 ])
+    |> List.map Result.get_ok
+  in
+  Alcotest.(check (list int)) "order kept" [ 3; 6; 9 ] results;
+  match !dispatches with
+  | [ Sweep.Probed_pool { jobs = 2; probe_s } ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "probe (%g s) above threshold" probe_s)
+        true
+        (probe_s >= Sweep.dispatch_overhead_s)
+  | _ -> Alcotest.fail "expected exactly one Probed_pool dispatch"
+
+(* A caller-supplied pool is never second-guessed, however small the
+   runs: its spawn cost is already sunk. *)
+let test_caller_pool_is_not_probed () =
+  let dispatches = ref [] in
+  let on_dispatch d = dispatches := d :: !dispatches in
+  Parallel.with_pool ~jobs:2 @@ fun pool ->
+  let spec =
+    { (Experiment.default_spec (Experiment.Clique 4)) with mrai = 1. }
+  in
+  let (_ : Metrics.Run_metrics.t) =
+    Sweep.over_seeds ~on_dispatch ~pool spec ~seeds:[ 1; 2 ]
+  in
+  match !dispatches with
+  | [ Sweep.Pool { jobs = 2 } ] -> ()
+  | _ -> Alcotest.fail "expected one un-probed Pool dispatch"
+
 let test_over_seeds_robust_parallel () =
   let spec =
     { (Experiment.default_spec (Experiment.Clique 6)) with mrai = 5. }
@@ -226,6 +290,12 @@ let () =
           tc "series_robust parallel = sequential"
             test_series_robust_parallel_equals_sequential;
           tc "over_seeds_robust with shared pool" test_over_seeds_robust_parallel;
+        ] );
+      ( "dispatch fallback",
+        [
+          tc "micro-runs stay sequential" test_jobs_falls_back_for_micro_runs;
+          tc "expensive runs still pool" test_jobs_still_pools_expensive_runs;
+          tc "caller pool never probed" test_caller_pool_is_not_probed;
         ] );
       ( "observability",
         [

@@ -1,0 +1,418 @@
+(* The partitioned≡sequential wall (DESIGN.md §17).
+
+   The space-partitioned conservative executor must be invisible:
+   running any simulation on k partitions has to produce the same
+   golden digest, the same FIB histories, the same loop reports and
+   the same convergence numbers as the classic single engine — byte
+   for byte, for every k.  These tests pin that contract on every
+   golden fixture (including the full-mesh one), on 20 seeded
+   internet graphs, on a scripted fault scenario, and on a mesh run
+   with background churn; then QCheck drives the {!Dessim.Cluster}
+   protocol directly with synthetic cross-partition cascades (causal
+   safety: zero channel violations, identical commit order) and pins
+   {!Bgpsim.Partition} against brute force (disjoint cover, exact
+   cut, lookahead = true minimum cross-partition delay). *)
+
+let fmt = Printf.sprintf
+
+(* Exact-float renderings, as in test_differential.ml: determinism
+   means times must match bit for bit, and %h never loses bits. *)
+let change_repr (c : Netcore.Fib_history.change) =
+  fmt "t=%h node=%d nh=%s" c.time c.node
+    (match c.next_hop with None -> "-" | Some n -> string_of_int n)
+
+let loop_repr (l : Loopscan.Scanner.loop) =
+  fmt "members=%s trigger=%d birth=%h death=%s"
+    (String.concat "," (List.map string_of_int l.members))
+    l.trigger l.birth
+    (match l.death with None -> "alive" | Some d -> fmt "%h" d)
+
+let fib_changes fib =
+  List.map change_repr (Netcore.Fib_history.changes_from fib ~from:0.)
+
+let loops ~fib ~origin ~from =
+  let r = Loopscan.Scanner.scan ~fib ~origin ~from () in
+  List.map loop_repr r.loops
+
+let ks = [ 2; 3; 4 ]
+
+let partition_for ~graph ~k ~seed =
+  Bgpsim.Partition.assignment (Bgpsim.Partition.compute ~seed ~graph ~k)
+
+(* --- golden digests: every fixture, every k --- *)
+
+let test_golden_digests () =
+  List.iter
+    (fun (f : Bgpsim.Golden.fixture) ->
+      let seq = Bgpsim.Golden.digest f in
+      List.iter
+        (fun k ->
+          Alcotest.(check string)
+            (fmt "%s on %d partition(s)" f.name k)
+            seq
+            (Bgpsim.Golden.digest ~partitions:k f))
+        [ 1; 2; 3; 4 ])
+    Bgpsim.Golden.fixtures
+
+let test_mesh_golden_digest () =
+  let seq = Bgpsim.Golden.mesh_digest () in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (fmt "%s on %d partition(s)" Bgpsim.Golden.mesh_name k)
+        seq
+        (Bgpsim.Golden.mesh_digest ~partitions:k ()))
+    [ 1; 2; 3; 4 ]
+
+(* --- full outcome equality, sequential vs each k --- *)
+
+let check_routing_equiv ~name ~graph ~origin ~event ~seed =
+  let seq = Bgp.Routing_sim.run ~graph ~origin ~event ~seed () in
+  let seq_fib = Netcore.Trace.fib seq.trace in
+  List.iter
+    (fun k ->
+      let name = fmt "%s k=%d" name k in
+      let partitions = partition_for ~graph ~k ~seed in
+      let par = Bgp.Routing_sim.run ~partitions ~graph ~origin ~event ~seed () in
+      let par_fib = Netcore.Trace.fib par.trace in
+      Alcotest.(check bool) (name ^ ": converged") seq.converged par.converged;
+      Alcotest.(check int)
+        (name ^ ": events executed")
+        seq.events_executed par.events_executed;
+      Alcotest.(check (float 0.)) (name ^ ": t_fail") seq.t_fail par.t_fail;
+      Alcotest.(check (float 0.))
+        (name ^ ": convergence end")
+        seq.convergence_end par.convergence_end;
+      Alcotest.(check int)
+        (name ^ ": paths interned")
+        seq.paths_interned par.paths_interned;
+      Alcotest.(check (list string))
+        (name ^ ": FIB change history")
+        (fib_changes seq_fib) (fib_changes par_fib);
+      Alcotest.(check (list string))
+        (name ^ ": forwarding loops")
+        (loops ~fib:seq_fib ~origin ~from:seq.t_fail)
+        (loops ~fib:par_fib ~origin ~from:par.t_fail))
+    ks
+
+(* 20 seeded internet-like topologies: 5 sizes x 4 seeds, T_down at a
+   stub origin (the test_differential.ml convention). *)
+let test_internet_graphs () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun seed ->
+          let graph = Topo.Internet.generate ~seed n in
+          let origin =
+            match Topo.Internet.stub_nodes graph with
+            | o :: _ -> o
+            | [] -> 0
+          in
+          check_routing_equiv
+            ~name:(fmt "internet-%d/seed-%d" n seed)
+            ~graph ~origin ~event:Bgp.Routing_sim.Tdown ~seed)
+        [ 1; 2; 3; 4 ])
+    [ 10; 12; 14; 16; 18 ]
+
+(* A scripted fault schedule whose actions mutate speakers on both
+   sides of the cut mid-event — link failure and recovery, a node
+   crash/restart, a session reset — the paths where the executor must
+   broadcast the injection clock (see Fabric.schedule_control). *)
+let test_fault_scenario () =
+  let graph = Topo.Internet.generate ~seed:5 14 in
+  let origin =
+    match Topo.Internet.stub_nodes graph with o :: _ -> o | [] -> 0
+  in
+  let a, b =
+    match Topo.Graph.edges graph with
+    | (a, b) :: _ -> (a, b)
+    | [] -> Alcotest.fail "empty edge set"
+  in
+  let crash = (origin + 1) mod Topo.Graph.n_nodes graph in
+  let scenario =
+    Faults.Scenario.make ~name:"partition-faults"
+      [
+        Faults.Scenario.At (0., Link_fail (a, b));
+        Faults.Scenario.At (40., Node_crash crash);
+        Faults.Scenario.At (80., Node_restart crash);
+        Faults.Scenario.At (120., Link_recover (a, b));
+        Faults.Scenario.At (160., Session_reset (a, b));
+      ]
+  in
+  check_routing_equiv ~name:"fault scenario" ~graph ~origin
+    ~event:(Bgp.Routing_sim.Scenario scenario) ~seed:5
+
+(* --- full-mesh multi-prefix run with background churn --- *)
+
+let mesh_outcome ?partitions () =
+  let graph = Topo.Internet.generate ~seed:3 12 in
+  let victim = List.hd (Topo.Graph.min_degree_nodes graph) in
+  let flappers =
+    List.filteri (fun i _ -> i < 3)
+      (List.filter (fun i -> i <> victim) (List.init 12 Fun.id))
+  in
+  let churn = { Bgp.Mesh_sim.period = 45.; cycles = 2; flappers } in
+  (graph, victim, Bgp.Mesh_sim.run ~churn ?partitions ~graph ~victim ~seed:3 ())
+
+let test_mesh_churn () =
+  let graph, _, seq = mesh_outcome () in
+  List.iter
+    (fun k ->
+      let name = fmt "mesh churn k=%d" k in
+      let partitions = partition_for ~graph ~k ~seed:3 in
+      let _, _, par = mesh_outcome ~partitions () in
+      Alcotest.(check bool) (name ^ ": converged") seq.converged par.converged;
+      Alcotest.(check int)
+        (name ^ ": events executed")
+        seq.events_executed par.events_executed;
+      Alcotest.(check (float 0.))
+        (name ^ ": victim convergence end")
+        seq.victim_convergence_end par.victim_convergence_end;
+      Alcotest.(check int)
+        (name ^ ": victim messages")
+        seq.victim_messages par.victim_messages;
+      Alcotest.(check int)
+        (name ^ ": background messages")
+        seq.background_messages par.background_messages;
+      List.iter2
+        (fun (p1, fib1) (p2, fib2) ->
+          Alcotest.(check string)
+            (name ^ ": prefix order")
+            (Format.asprintf "%a" Bgp.Prefix.pp p1)
+            (Format.asprintf "%a" Bgp.Prefix.pp p2);
+          Alcotest.(check (list string))
+            (fmt "%s: FIB history of %s" name (Format.asprintf "%a" Bgp.Prefix.pp p1))
+            (fib_changes fib1) (fib_changes fib2))
+        seq.prefixes par.prefixes;
+      List.iter2
+        (fun (p1, (r1 : Loopscan.Scanner.report)) (_, r2) ->
+          Alcotest.(check (list string))
+            (fmt "%s: loop report of %s" name (Format.asprintf "%a" Bgp.Prefix.pp p1))
+            (List.map loop_repr r1.loops)
+            (List.map loop_repr r2.Loopscan.Scanner.loops))
+        seq.loop_reports par.loop_reports)
+    ks
+
+(* --- run-twice determinism at every partition count --- *)
+
+let test_partitioned_runs_are_deterministic () =
+  let f = List.hd Bgpsim.Golden.fixtures in
+  let graph, origin, event = Bgpsim.Experiment.resolve f.spec in
+  List.iter
+    (fun k ->
+      let once () =
+        let partitions = partition_for ~graph ~k ~seed:f.spec.seed in
+        Bgp.Routing_sim.run ~params:f.spec.params ~partitions ~graph ~origin
+          ~event ~seed:f.spec.seed ()
+      in
+      let a = once () and b = once () in
+      Alcotest.(check int)
+        (fmt "k=%d: events executed" k)
+        a.events_executed b.events_executed;
+      Alcotest.(check (list string))
+        (fmt "k=%d: FIB change history" k)
+        (fib_changes (Netcore.Trace.fib a.trace))
+        (fib_changes (Netcore.Trace.fib b.trace));
+      Alcotest.(check (list string))
+        (fmt "k=%d: forwarding loops" k)
+        (loops ~fib:(Netcore.Trace.fib a.trace) ~origin ~from:a.t_fail)
+        (loops ~fib:(Netcore.Trace.fib b.trace) ~origin ~from:b.t_fail))
+    [ 2; 3; 4 ]
+
+(* --- QCheck: causal safety of the cluster protocol --- *)
+
+(* A synthetic cascade: each root event recursively spawns one
+   same-partition child and one cross-partition child (to the next
+   partition around the ring, at >= lookahead ahead — the same
+   contract the fabric's link transport guarantees by construction).
+   Driving the identical cascade through a [Cluster] and through one
+   flat [Engine] must commit events in the identical order, and the
+   cluster must finish with zero channel protocol violations — i.e. no
+   cross-partition message was ever delivered below its receiver's
+   committed clock plus the lookahead. *)
+
+type cascade = {
+  casc_k : int;
+  la_ms : int;  (* channel lookahead, milliseconds *)
+  roots : (int * int * int) list;  (* partition, start ms, depth *)
+  local_ms : int array;  (* same-partition child offsets (cyclic) *)
+  cross_ms : int array;  (* cross-partition extra beyond lookahead *)
+}
+
+let ms i = float_of_int i /. 1000.
+
+(* [schedule ~src ~dst ~at action] abstracts over the two drivers. *)
+let run_cascade c ~schedule =
+  let log = Buffer.create 256 in
+  let draws = ref 0 in
+  let next (arr : int array) =
+    let v = arr.(!draws mod Array.length arr) in
+    incr draws;
+    v
+  in
+  let rec fire p t d () =
+    Buffer.add_string log (fmt "p%d@%h;" p t);
+    if d > 0 then begin
+      let lt = t +. ms (next c.local_ms) in
+      schedule ~src:p ~dst:p ~at:lt (fire p lt (d - 1));
+      let q = (p + 1) mod c.casc_k in
+      let ct = t +. ms c.la_ms +. ms (next c.cross_ms) in
+      schedule ~src:p ~dst:q ~at:ct (fire q ct (d - 1))
+    end
+  in
+  List.iter
+    (fun (p, t0, d) ->
+      let t0 = ms t0 in
+      schedule ~src:p ~dst:p ~at:t0 (fire p t0 d))
+    c.roots;
+  log
+
+let cluster_of c =
+  let la = ms c.la_ms in
+  let m =
+    Array.init c.casc_k (fun p ->
+        Array.init c.casc_k (fun q -> if p = q then infinity else la))
+  in
+  Dessim.Cluster.create ~lookahead:m ()
+
+let prop_causal_safety =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 4 >>= fun casc_k ->
+      int_range 1 5 >>= fun la_ms ->
+      list_size (int_range 1 3)
+        (triple (int_range 0 (casc_k - 1)) (int_range 0 20) (int_range 0 4))
+      >>= fun roots ->
+      array_size (int_range 1 4) (int_range 0 4) >>= fun local_ms ->
+      array_size (int_range 1 4) (int_range 0 4) >>= fun cross_ms ->
+      return { casc_k; la_ms; roots; local_ms; cross_ms })
+  in
+  let print c =
+    fmt "k=%d la=%dms roots=[%s] local=[%s] cross=[%s]" c.casc_k c.la_ms
+      (String.concat ";"
+         (List.map (fun (p, t, d) -> fmt "(%d,%d,%d)" p t d) c.roots))
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int c.local_ms)))
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int c.cross_ms)))
+  in
+  QCheck.Test.make ~count:100
+    ~name:
+      "cluster: cascades commit in single-engine order with zero channel \
+       violations"
+    (QCheck.make gen ~print)
+    (fun c ->
+      let cl = cluster_of c in
+      let cl_log =
+        run_cascade c ~schedule:(fun ~src ~dst ~at action ->
+            Dessim.Cluster.send cl ~src ~dst ~at action)
+      in
+      Dessim.Cluster.run cl;
+      let e = Dessim.Engine.create () in
+      let seq_log =
+        run_cascade c ~schedule:(fun ~src:_ ~dst:_ ~at action ->
+            let (_ : Dessim.Engine.handle) =
+              Dessim.Engine.schedule e ~at action
+            in
+            ())
+      in
+      Dessim.Engine.run e;
+      let stats = Dessim.Cluster.stats cl in
+      stats.violations = 0
+      && String.equal (Buffer.contents cl_log) (Buffer.contents seq_log)
+      && Dessim.Cluster.events_executed cl = Dessim.Engine.events_executed e)
+
+(* --- QCheck: Partition soundness against brute force --- *)
+
+(* A deterministic, symmetric, varied per-edge delay. *)
+let edge_delay a b =
+  let lo = min a b and hi = max a b in
+  0.001 *. float_of_int (1 + (((lo * 7) + (hi * 13)) mod 5))
+
+let prop_partition_sound =
+  let gen =
+    QCheck.Gen.(
+      int_range 8 24 >>= fun n ->
+      int_range 1 9999 >>= fun seed ->
+      int_range 1 4 >>= fun k ->
+      return (n, seed, k))
+  in
+  QCheck.Test.make ~count:100
+    ~name:
+      "partition: disjoint cover, exact cut, lookahead = true min cross \
+       delay"
+    (QCheck.make gen ~print:(fun (n, seed, k) -> fmt "n=%d seed=%d k=%d" n seed k))
+    (fun (n, seed, k) ->
+      let graph = Topo.Internet.generate ~seed n in
+      let part = Bgpsim.Partition.compute ~seed ~graph ~k in
+      let assignment = Bgpsim.Partition.assignment part in
+      let cap = (n + k - 1) / k in
+      let sizes = Array.make k 0 in
+      let in_range =
+        Array.for_all
+          (fun c ->
+            if c >= 0 && c < k then begin
+              sizes.(c) <- sizes.(c) + 1;
+              true
+            end
+            else false)
+          assignment
+      in
+      let covering =
+        Array.length assignment = n
+        && Array.for_all (fun s -> s >= 1 && s <= cap) sizes
+      in
+      (* members partition the node set *)
+      let disjoint =
+        List.sort_uniq compare
+          (List.concat_map (Bgpsim.Partition.members part) (List.init k Fun.id))
+        = List.init n Fun.id
+      in
+      let brute_cut =
+        List.filter
+          (fun (a, b) -> assignment.(a) <> assignment.(b))
+          (Topo.Graph.edges graph)
+      in
+      let cut_exact = Bgpsim.Partition.cut part = brute_cut in
+      let la = Bgpsim.Partition.lookahead part ~delay:edge_delay in
+      let la_exact = ref true in
+      for p = 0 to k - 1 do
+        for q = 0 to k - 1 do
+          let brute =
+            List.fold_left
+              (fun acc (a, b) ->
+                if
+                  (assignment.(a) = p && assignment.(b) = q)
+                  || (assignment.(a) = q && assignment.(b) = p)
+                then Float.min acc (edge_delay a b)
+                else acc)
+              infinity brute_cut
+          in
+          (* bgpsim-lint: allow D004 — exactness check wants bitwise equality *)
+          if not (la.(p).(q) = brute && la.(q).(p) = brute) then
+            la_exact := false
+        done
+      done;
+      in_range && covering && disjoint && cut_exact && !la_exact)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "partition"
+    [
+      ( "golden digests",
+        [
+          tc "fixtures at k=1..4" test_golden_digests;
+          tc "mesh fixture at k=1..4" test_mesh_golden_digest;
+        ] );
+      ( "outcome equality",
+        [
+          tc "20 random internet topologies" test_internet_graphs;
+          tc "scripted fault scenario" test_fault_scenario;
+          tc "full mesh with background churn" test_mesh_churn;
+        ] );
+      ( "determinism",
+        [ tc "partitioned runs twice at each k" test_partitioned_runs_are_deterministic ] );
+      ( "protocol properties",
+        [ qc prop_causal_safety; qc prop_partition_sound ] );
+    ]
